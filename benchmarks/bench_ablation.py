@@ -1,0 +1,97 @@
+"""Ablation benchmarks for the design choices discussed in the paper.
+
+* **Scaling** (Section 6.2.5, "analysis via type checking is fast"): inference
+  time versus program size on a Horner-degree sweep — compositional inference
+  is (near-)linear, no global optimisation.
+* **FMA versus MA** (Fig. 8): fusing the multiply-add halves the error grade.
+* **Serial versus pairwise summation**: the graded monad accumulates rounding
+  errors additively, so both orders get the same grade (as in Table 3's
+  sums4 rows), even though the textbook pairwise bound is logarithmic.
+* **Rounding-mode instantiation**: switching the ``rnd`` grade from the
+  directed unit roundoff to the round-to-nearest unit roundoff halves every
+  bound without touching the programs.
+* **Ideal/FP evaluation** (Lemma 4.19): running the two refined semantics and
+  checking the certified bound on a concrete input.
+
+Run with::
+
+    pytest benchmarks/bench_ablation.py --benchmark-only
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import analyze_term, check_error_soundness
+from repro.benchsuite.large import (
+    horner_fma_expression,
+    pairwise_sum_expression,
+    serial_sum_expression,
+)
+from repro.core import InferenceConfig
+from repro.core.grades import Grade
+from repro.frontend import expr as E
+from repro.frontend.compiler import compile_expression
+
+EPS64 = Fraction(1, 2**52)
+
+
+@pytest.mark.parametrize("degree", [10, 25, 50, 100, 200], ids=lambda d: f"degree{d}")
+def test_scaling_with_program_size(benchmark, degree):
+    """Inference time as a function of the number of operations."""
+    program = compile_expression(horner_fma_expression(degree))
+
+    def run():
+        return analyze_term(program.term, program.skeleton, name=f"Horner{degree}")
+
+    analysis = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert analysis.rp_bound == degree * EPS64
+
+
+@pytest.mark.parametrize("fused", [True, False], ids=["FMA", "MA"])
+def test_fused_versus_unfused_multiply_add(benchmark, fused):
+    a, x, b = E.Var("a"), E.Var("x"), E.Var("b")
+    expression = E.Fma(a, x, b) if fused else E.Add(E.Mul(a, x), b)
+    program = compile_expression(expression)
+    analysis = benchmark(lambda: analyze_term(program.term, program.skeleton))
+    expected = EPS64 if fused else 2 * EPS64
+    assert analysis.rp_bound == expected
+
+
+@pytest.mark.parametrize("shape", ["serial", "pairwise"])
+def test_summation_order_does_not_change_the_grade(benchmark, shape):
+    expression = serial_sum_expression(32) if shape == "serial" else pairwise_sum_expression(32)
+    program = compile_expression(expression)
+    analysis = benchmark(lambda: analyze_term(program.term, program.skeleton))
+    assert analysis.rp_bound == 31 * EPS64
+
+
+@pytest.mark.parametrize(
+    "label, unit",
+    [
+        ("directed", Fraction(1, 2**52)),
+        ("nearest", Fraction(1, 2**53)),
+        ("binary32_directed", Fraction(1, 2**23)),
+    ],
+)
+def test_rounding_mode_instantiation(benchmark, label, unit):
+    program = compile_expression(horner_fma_expression(10))
+    config = InferenceConfig().with_rnd_grade(Grade.constant(unit))
+
+    def run():
+        return analyze_term(program.term, program.skeleton, config)
+
+    analysis = benchmark(run)
+    assert analysis.rp_bound == 10 * unit
+
+
+def test_ideal_and_fp_evaluation_with_soundness_check(benchmark):
+    """Times the full Corollary 4.20 check (two evaluations + exact RP distance)."""
+    program = compile_expression(horner_fma_expression(10))
+    inputs = {name: Fraction(3, 7) for name in program.skeleton}
+
+    def run():
+        return check_error_soundness(program.term, program.skeleton, inputs)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert report.holds

@@ -1,0 +1,26 @@
+"""Regenerate the background tables (Tables 1 and 2 of the paper).
+
+These are not performance claims; the benchmarks time the table construction
+and assert that the regenerated parameters match the IEEE 754 standard.
+"""
+
+from fractions import Fraction
+
+from repro.benchsuite.runner import table1_rows, table2_rows
+
+
+def test_table1_formats(benchmark):
+    rows = benchmark(table1_rows)
+    by_name = {row["format"]: row for row in rows}
+    assert by_name["binary32"]["p"] == 24
+    assert by_name["binary64"]["p"] == 53
+    assert by_name["binary128"]["p"] == 113
+    assert all(row["emin"] == 1 - row["emax"] for row in rows)
+
+
+def test_table2_rounding_modes(benchmark):
+    rows = benchmark(table2_rows)
+    modes = {row["mode"]: row["unit_roundoff"] for row in rows}
+    assert modes["RU"] == float(Fraction(1, 2**52))
+    assert modes["RN"] == float(Fraction(1, 2**53))
+    assert set(modes) == {"RU", "RD", "RZ", "RN"}

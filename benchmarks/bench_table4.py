@@ -1,0 +1,55 @@
+"""Table 4: large benchmarks — Λnum inference time on programs with 100–520k ops.
+
+Each benchmark times a single inference run (``pedantic`` with one round for
+the larger programs, since an inference on SerialSum1024 already takes
+seconds in pure Python) and asserts the computed bound equals the value from
+Table 4 of the paper.
+
+Run with::
+
+    pytest benchmarks/bench_table4.py --benchmark-only
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.benchsuite.large import (
+    horner_benchmark,
+    matrix_multiply_benchmark,
+    poly50_benchmark,
+    serial_sum_benchmark,
+)
+
+EPS64 = Fraction(1, 2**52)
+
+
+def _run_once(benchmark, bench):
+    return benchmark.pedantic(bench.analyze_lnum, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("degree", [50, 75, 100], ids=lambda d: f"Horner{d}")
+def test_horner(benchmark, degree):
+    analysis = _run_once(benchmark, horner_benchmark(degree))
+    assert analysis.rp_bound == degree * EPS64
+
+
+@pytest.mark.parametrize(
+    "dimension, expected_eps",
+    [(4, 7), (16, 31), (64, 127)],
+    ids=lambda value: f"{value}",
+)
+def test_matrix_multiply_element(benchmark, dimension, expected_eps):
+    """One element of the n-by-n product; the paper reports the max element-wise bound."""
+    analysis = _run_once(benchmark, matrix_multiply_benchmark(dimension))
+    assert analysis.rp_bound == expected_eps * EPS64
+
+
+def test_serial_sum_1024(benchmark):
+    analysis = _run_once(benchmark, serial_sum_benchmark(1024))
+    assert analysis.rp_bound == 1023 * EPS64
+
+
+def test_poly50(benchmark):
+    analysis = _run_once(benchmark, poly50_benchmark(50))
+    assert float(analysis.relative_error_bound) == pytest.approx(2.94e-13, rel=1e-2)

@@ -1,0 +1,8 @@
+"""Path setup shared by the pytest-benchmark harnesses."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path and os.path.isdir(_SRC):
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Randomized and non-deterministic rounding (Section 7.2).
+
+The neighborhood monad composes with monads for other effects.  This example
+exercises the three probabilistic variants on *stochastic rounding* — the
+unbiased randomized rounding increasingly used in machine-learning hardware —
+and the may/must variants on tie-breaking non-determinism:
+
+* the worst-case variant certifies the usual `eps` bound for every outcome;
+* the expected-distance variant certifies the *average-case* bound, which for
+  stochastic rounding is governed by the distance to the two neighbours;
+* the must/may variants show the difference between demonic and angelic
+  non-determinism when a tie can be broken either way.
+
+Run with::
+
+    python examples/stochastic_rounding.py
+"""
+
+from fractions import Fraction
+
+from repro.floats.rounding import RoundingMode, round_to_precision
+from repro.floats.ulp import ulp
+from repro.metrics import ABS_METRIC, RP_METRIC
+from repro.monads import (
+    BestCaseProbabilisticMonad,
+    ExpectedProbabilisticMonad,
+    MayNondeterministicMonad,
+    MustNondeterministicMonad,
+    WorstCaseProbabilisticMonad,
+    stochastic_rounding_distribution,
+)
+
+
+def stochastic_rounding_demo() -> None:
+    print("Stochastic rounding of x = 0.1 (binary64)")
+    value = Fraction(1, 10)
+    distribution = stochastic_rounding_distribution(value)
+    for outcome, probability in sorted(distribution.items()):
+        print(f"  rounds to {float(outcome):.17g} with probability {float(probability):.6f}")
+    mean = sum(outcome * p for outcome, p in distribution.items())
+    print(f"  expectation = {float(mean):.17g} (unbiased: equals x exactly: {mean == value})")
+
+    worst = WorstCaseProbabilisticMonad(ABS_METRIC)
+    expected = ExpectedProbabilisticMonad(ABS_METRIC)
+    element = (value, distribution)
+    step = ulp(value)
+    print(f"  worst-case grade   <= 1 ulp: {worst.contains(element, step)}")
+    print(f"  expected grade     <= 1 ulp: {expected.contains(element, step)}")
+    print(
+        "  expected distance  = "
+        f"{float(expected.expected_distance(element)):.3e} "
+        f"(half an ulp would be {float(step) / 2:.3e})"
+    )
+    print()
+
+
+def nondeterministic_ties() -> None:
+    print("Non-deterministic tie breaking (may versus must)")
+    value = Fraction(3, 2**53)  # exactly half way between two binary64 values
+    down = round_to_precision(value, 52, RoundingMode.TOWARD_NEGATIVE)
+    up = round_to_precision(value, 52, RoundingMode.TOWARD_POSITIVE)
+    outcomes = frozenset({down, up})
+    element = (value, outcomes)
+
+    must = MustNondeterministicMonad(RP_METRIC)
+    may = MayNondeterministicMonad(RP_METRIC)
+    tight = Fraction(1, 2**54)
+    loose = Fraction(1, 2**51)
+    print(f"  candidate outcomes: {sorted(float(o) for o in outcomes)}")
+    print(f"  must-bound {float(loose):.1e}: {must.contains(element, loose)}")
+    print(f"  must-bound {float(tight):.1e}: {must.contains(element, tight)}")
+    print(f"  may-bound  {float(tight):.1e}: {may.contains(element, tight)}")
+    print()
+
+
+def composing_stochastic_steps() -> None:
+    print("Composing two stochastically rounded squarings (the pow4 shape)")
+    expected = ExpectedProbabilisticMonad(RP_METRIC)
+    x = Fraction(1, 3)
+
+    def square_and_round(value: Fraction):
+        exact = value * value
+        return (exact, stochastic_rounding_distribution(exact))
+
+    first = square_and_round(x)
+    result = expected.bind(first, square_and_round)
+    grade = expected.expected_distance(result)
+    print(f"  ideal x^4              = {float(result[0]):.17g}")
+    print(f"  expected RP distance   = {float(grade):.3e}")
+    print(f"  worst-case type bound  = {float(3 * Fraction(1, 2**52)):.3e} (3*eps)")
+
+
+if __name__ == "__main__":
+    stochastic_rounding_demo()
+    nondeterministic_ties()
+    composing_stochastic_steps()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml / setup.cfg; this file only
+enables the legacy `pip install -e .` code path.
+"""
+from setuptools import setup
+
+setup()

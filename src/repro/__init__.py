@@ -1,0 +1,51 @@
+"""Numerical Fuzz (Λnum): a type system for rounding error analysis.
+
+This package is a from-scratch Python reproduction of
+
+    Ariel E. Kellison and Justin Hsu.
+    "Numerical Fuzz: A Type System for Rounding Error Analysis." PLDI 2024.
+
+Public entry points:
+
+* :mod:`repro.core` — the Λnum language (types, terms, parser, sensitivity
+  inference, operational and denotational semantics);
+* :mod:`repro.analysis` — the high-level error-analysis API
+  (:func:`repro.analysis.analyze_source` and friends);
+* :mod:`repro.floats` — the IEEE-754 substrate (formats, rounding operators,
+  exact rational arithmetic helpers);
+* :mod:`repro.metrics` / :mod:`repro.monads` — the metric-space semantics and
+  the graded neighborhood monad with its Section-7 extensions;
+* :mod:`repro.baselines` — interval- and Taylor-form baselines standing in for
+  Gappa and FPTaylor;
+* :mod:`repro.benchsuite` — the benchmark programs and the harness that
+  regenerates the paper's Tables 3–5.
+"""
+
+from .analysis import analyze_source, analyze_term, check_error_soundness
+from .core import (
+    EPS,
+    Grade,
+    InferenceConfig,
+    Program,
+    infer,
+    parse_program,
+    parse_term,
+    parse_type,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analyze_source",
+    "analyze_term",
+    "check_error_soundness",
+    "EPS",
+    "Grade",
+    "InferenceConfig",
+    "Program",
+    "infer",
+    "parse_program",
+    "parse_term",
+    "parse_type",
+    "__version__",
+]

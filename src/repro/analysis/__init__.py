@@ -1,0 +1,31 @@
+"""User-facing rounding-error analysis API."""
+
+from .analyzer import (
+    ErrorAnalysis,
+    SoundnessReport,
+    analyze_definition,
+    analyze_program,
+    analyze_source,
+    analyze_term,
+    check_error_soundness,
+)
+from .bounds import (
+    relative_error_from_rp,
+    relative_error_from_rp_linear,
+    rp_bound_value,
+    rp_from_relative_error,
+)
+
+__all__ = [
+    "ErrorAnalysis",
+    "SoundnessReport",
+    "analyze_definition",
+    "analyze_program",
+    "analyze_source",
+    "analyze_term",
+    "check_error_soundness",
+    "relative_error_from_rp",
+    "relative_error_from_rp_linear",
+    "rp_bound_value",
+    "rp_from_relative_error",
+]

@@ -1,0 +1,67 @@
+"""Conversions between relative precision (RP) and relative error bounds.
+
+The type system bounds the RP distance ``α = |ln(x/x̃)|``.  Equation (8) of
+the paper converts an RP bound into a relative-error bound::
+
+    ε = e^α − 1 ≤ α / (1 − α)          (for 0 ≤ α < 1)
+
+Both forms are provided; the evaluation section of the paper reports the
+``e^α − 1`` form.  All conversions are exact rational arithmetic with rigorous
+enclosures of the exponential.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Union
+
+from ..core.grades import Grade, GradeLike, as_grade
+from ..floats.exactmath import expm1_upper, log_enclosure
+
+__all__ = [
+    "rp_bound_value",
+    "relative_error_from_rp",
+    "relative_error_from_rp_linear",
+    "rp_from_relative_error",
+]
+
+
+def rp_bound_value(grade: GradeLike) -> Fraction:
+    """Evaluate a (finite) RP grade to an exact rational."""
+    grade = as_grade(grade)
+    return grade.evaluate()
+
+
+def relative_error_from_rp(grade: GradeLike) -> Fraction:
+    """A sound relative-error bound ``e^α − 1`` from an RP bound ``α``."""
+    alpha = rp_bound_value(grade)
+    if alpha < 0:
+        raise ValueError("RP bounds are non-negative")
+    if alpha == 0:
+        return Fraction(0)
+    return expm1_upper(alpha)
+
+
+def relative_error_from_rp_linear(grade: GradeLike) -> Fraction:
+    """The looser closed form ``α / (1 − α)`` of Equation (8) (requires α < 1)."""
+    alpha = rp_bound_value(grade)
+    if not (0 <= alpha < 1):
+        raise ValueError("the linear form of Equation (8) requires 0 <= alpha < 1")
+    if alpha == 0:
+        return Fraction(0)
+    return alpha / (1 - alpha)
+
+
+def rp_from_relative_error(epsilon: Union[Fraction, float, int]) -> Fraction:
+    """A sound RP bound from a (two-sided) relative-error bound ``ε < 1``.
+
+    If ``|x̃/x − 1| ≤ ε`` then ``RP(x, x̃) ≤ −ln(1 − ε)``; we return a rational
+    upper bound on that quantity.
+    """
+    epsilon = Fraction(epsilon)
+    if not (0 <= epsilon < 1):
+        raise ValueError("rp_from_relative_error requires 0 <= epsilon < 1")
+    if epsilon == 0:
+        return Fraction(0)
+    low, _high = log_enclosure(1 - epsilon)
+    return -low

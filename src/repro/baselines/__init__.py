@@ -1,0 +1,32 @@
+"""Baseline error analysers and textbook bounds used in the evaluation."""
+
+from .fptaylor_like import FPTaylorLikeAnalyzer, analyze_taylor
+from .gappa_like import BaselineResult, GappaLikeAnalyzer, analyze_interval
+from .interval import Interval, IntervalError, hull
+from .standard_bounds import (
+    dot_product_bound,
+    gamma,
+    horner_bound,
+    horner_fma_bound,
+    matrix_multiply_bound,
+    pairwise_summation_bound,
+    serial_summation_bound,
+)
+
+__all__ = [
+    "BaselineResult",
+    "GappaLikeAnalyzer",
+    "FPTaylorLikeAnalyzer",
+    "analyze_interval",
+    "analyze_taylor",
+    "Interval",
+    "IntervalError",
+    "hull",
+    "gamma",
+    "horner_bound",
+    "horner_fma_bound",
+    "serial_summation_bound",
+    "pairwise_summation_bound",
+    "dot_product_bound",
+    "matrix_multiply_bound",
+]

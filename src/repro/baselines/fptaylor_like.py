@@ -1,0 +1,154 @@
+"""A symbolic Taylor-form error analyser in the style of FPTaylor.
+
+FPTaylor (Solovyev et al. 2019) bounds roundoff error by writing the
+floating-point result as a first-order Taylor expansion in the per-operation
+relative error variables::
+
+    fl(f)(x, δ) = f(x) + Σ_i  s_i(x) δ_i + O(δ²),      |δ_i| ≤ u
+    s_i(x)      = v_i(x) · ∂ fl(f) / ∂ v_i
+
+where ``v_i`` is the exact value of the i-th rounded operation.  The
+first-order term is bounded by global optimisation of ``Σ_i |s_i(x)|`` over
+the input box; FPTaylor uses rigorous branch-and-bound, while this
+re-implementation bounds each ``|s_i|`` with exact rational interval
+arithmetic (a coarser but sound optimiser).  A conservative second-order term
+``u² · (Σ_i sup|s_i|)`` accounts for the truncated remainder, mirroring the
+``M₂`` term of the original tool.
+
+The relative-error bound divides by the smallest magnitude of the exact
+result over the box — exactly the step that makes this style of tool
+ill-behaved when the result range approaches zero (the ``x_by_xy`` discussion
+in Section 6.2.5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..floats.formats import BINARY64, FloatFormat
+from ..floats.rounding import RoundingMode
+from ..frontend import expr as E
+from .gappa_like import BaselineResult
+from .interval import Interval, IntervalError
+
+__all__ = ["FPTaylorLikeAnalyzer", "analyze_taylor"]
+
+#: Results whose exact range gets closer to zero than this threshold (relative
+#: to the error) are reported as failures, mimicking FPTaylor's behaviour on
+#: expressions "too close to zero" (Section 6.2.5).
+_NEAR_ZERO_RATIO = Fraction(1, 10**30)
+
+
+def _interval_eval(node: E.RealExpr, boxes: Mapping[str, Interval]) -> Interval:
+    if isinstance(node, E.Var):
+        return boxes[node.name]
+    if isinstance(node, E.Const):
+        return Interval.point(node.value)
+    if isinstance(node, E.Add):
+        return _interval_eval(node.left, boxes) + _interval_eval(node.right, boxes)
+    if isinstance(node, E.Sub):
+        return _interval_eval(node.left, boxes) - _interval_eval(node.right, boxes)
+    if isinstance(node, E.Mul):
+        return _interval_eval(node.left, boxes) * _interval_eval(node.right, boxes)
+    if isinstance(node, E.Div):
+        return _interval_eval(node.left, boxes) / _interval_eval(node.right, boxes)
+    if isinstance(node, E.Sqrt):
+        return _interval_eval(node.operand, boxes).sqrt()
+    if isinstance(node, E.Fma):
+        return _interval_eval(node.a, boxes) * _interval_eval(node.b, boxes) + _interval_eval(
+            node.c, boxes
+        )
+    if isinstance(node, E.Cond):
+        raise IntervalError("Taylor-form baseline does not handle conditionals")
+    raise TypeError(f"unknown expression node {node!r}")
+
+
+class FPTaylorLikeAnalyzer:
+    """First-order symbolic Taylor forms with interval-bounded coefficients."""
+
+    def __init__(
+        self,
+        fmt: FloatFormat = BINARY64,
+        rounding: RoundingMode = RoundingMode.TOWARD_POSITIVE,
+    ) -> None:
+        self.fmt = fmt
+        self.rounding = rounding
+        self.unit_roundoff = fmt.unit_roundoff(rounding.is_directed)
+
+    def _rounded_nodes(self, expression: E.RealExpr) -> List[E.RealExpr]:
+        return [
+            node
+            for node in E.subexpressions(expression)
+            if isinstance(node, (E.Add, E.Sub, E.Mul, E.Div, E.Sqrt, E.Fma))
+        ]
+
+    def analyze(
+        self,
+        expression: E.RealExpr,
+        input_ranges: Mapping[str, Tuple[Fraction, Fraction]],
+        input_errors: Mapping[str, Fraction] | None = None,
+    ) -> BaselineResult:
+        start = time.perf_counter()
+        input_errors = dict(input_errors or {})
+        boxes: Dict[str, Interval] = {
+            name: Interval.from_pair(bounds) for name, bounds in input_ranges.items()
+        }
+        try:
+            result_range = _interval_eval(expression, boxes)
+            first_order = Fraction(0)
+            for node in self._rounded_nodes(expression):
+                derivative = E.differentiate(expression, node)
+                coefficient = _interval_eval(derivative, boxes) * _interval_eval(node, boxes)
+                first_order += coefficient.magnitude()
+            # Propagated input errors: one extra first-order term per input
+            # with a declared relative error (scaled by its own magnitude).
+            input_term = Fraction(0)
+            for name, relative in input_errors.items():
+                if relative == 0:
+                    continue
+                variable = E.Var(name)
+                derivative = E.differentiate(expression, variable)
+                coefficient = _interval_eval(derivative, boxes) * boxes[name]
+                input_term += coefficient.magnitude() * relative
+        except (IntervalError, KeyError, ZeroDivisionError) as exc:
+            return BaselineResult(
+                tool="fptaylor_like",
+                relative_error=None,
+                absolute_error=None,
+                seconds=time.perf_counter() - start,
+                failed=True,
+                message=str(exc),
+            )
+        elapsed = time.perf_counter() - start
+        u = self.unit_roundoff
+        absolute = first_order * u + first_order * u * u + input_term
+        mignitude = result_range.mignitude()
+        if mignitude == 0 or (absolute > 0 and mignitude / absolute < _NEAR_ZERO_RATIO):
+            return BaselineResult(
+                tool="fptaylor_like",
+                relative_error=None,
+                absolute_error=absolute,
+                seconds=elapsed,
+                failed=True,
+                message="result range too close to zero for a relative error bound",
+            )
+        return BaselineResult(
+            tool="fptaylor_like",
+            relative_error=absolute / mignitude,
+            absolute_error=absolute,
+            seconds=elapsed,
+        )
+
+
+def analyze_taylor(
+    expression: E.RealExpr,
+    input_ranges: Mapping[str, Tuple[Fraction, Fraction]],
+    fmt: FloatFormat = BINARY64,
+    rounding: RoundingMode = RoundingMode.TOWARD_POSITIVE,
+    input_errors: Mapping[str, Fraction] | None = None,
+) -> BaselineResult:
+    """Convenience wrapper over :class:`FPTaylorLikeAnalyzer`."""
+    return FPTaylorLikeAnalyzer(fmt, rounding).analyze(expression, input_ranges, input_errors)

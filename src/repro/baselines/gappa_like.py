@@ -1,0 +1,200 @@
+"""An interval-propagation error analyser in the style of Gappa / Fluctuat.
+
+The paper compares Λnum against Gappa, which certifies error bounds by
+propagating enclosures of value ranges and error terms through the
+computation.  Gappa itself is an external OCaml/C++ tool; this module is an
+open re-implementation of the *method* it rests on, specialised (like the
+paper's instantiation) to expressions over strictly positive reals:
+
+* every program input ranges over a user-supplied interval (the paper uses
+  ``[0.1, 1000]`` for all variables);
+* each floating-point operation is modelled with the standard model
+  ``fl(x op y) = (x op y)(1 + δ)``, ``|δ| ≤ u`` (Equation (2));
+* for every sub-expression the analyser tracks an enclosure of the exact
+  value range and an enclosure of the *relative* error
+  ``(approx − exact) / exact``.  Relative errors compose cleanly over
+  ``+ * / sqrt`` on positive operands (the relative error of a sum of
+  positive terms is a convex combination of the operands' relative errors),
+  which is what makes this style of analysis tight in the paper's tables.
+
+The analysis is sound for the straight-line, positive-range fragment (no
+conditionals and no subtraction), like the comparison tools in the paper's
+evaluation; anything else is reported as a failure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..floats.formats import BINARY64, FloatFormat
+from ..floats.rounding import RoundingMode
+from ..frontend import expr as E
+from .interval import Interval, IntervalError
+
+__all__ = ["BaselineResult", "GappaLikeAnalyzer", "analyze_interval"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of a baseline analysis (shared with the FPTaylor-style tool)."""
+
+    tool: str
+    relative_error: Optional[Fraction]
+    absolute_error: Optional[Fraction]
+    seconds: float
+    failed: bool = False
+    message: str = ""
+
+    @property
+    def relative_error_float(self) -> float:
+        if self.relative_error is None:
+            return float("nan")
+        return float(self.relative_error)
+
+
+@dataclass(frozen=True)
+class _NodeInfo:
+    """Exact value range and relative-error enclosure of a sub-expression."""
+
+    range: Interval
+    relative: Interval
+
+
+_ONE = Interval.point(1)
+
+
+class GappaLikeAnalyzer:
+    """Forward propagation of value ranges and relative-error enclosures."""
+
+    def __init__(
+        self,
+        fmt: FloatFormat = BINARY64,
+        rounding: RoundingMode = RoundingMode.TOWARD_POSITIVE,
+    ) -> None:
+        self.fmt = fmt
+        self.rounding = rounding
+        self.unit_roundoff = fmt.unit_roundoff(rounding.is_directed)
+        self._input_errors: Dict[str, Fraction] = {}
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _rounding_interval(self) -> Interval:
+        """The enclosure of δ for one correctly rounded operation."""
+        u = self.unit_roundoff
+        if self.rounding is RoundingMode.TOWARD_POSITIVE:
+            return Interval(Fraction(0), u)
+        if self.rounding is RoundingMode.TOWARD_NEGATIVE or self.rounding is RoundingMode.TOWARD_ZERO:
+            return Interval(-u, Fraction(0))
+        return Interval(-u, u)
+
+    def _apply_rounding(self, relative: Interval) -> Interval:
+        """Compose a relative-error enclosure with one rounding: (1+r)(1+δ) − 1."""
+        delta = self._rounding_interval()
+        return (_ONE + relative) * (_ONE + delta) - _ONE
+
+    # -- the recursive analysis ------------------------------------------------
+
+    def _analyze(self, node: E.RealExpr, boxes: Mapping[str, Interval]) -> _NodeInfo:
+        if isinstance(node, E.Var):
+            box = boxes[node.name]
+            if not box.is_positive():
+                raise IntervalError(
+                    f"input {node.name!r} must range over strictly positive values"
+                )
+            relative = Interval.symmetric(self._input_errors.get(node.name, Fraction(0)))
+            return _NodeInfo(box, relative)
+        if isinstance(node, E.Const):
+            if node.value <= 0:
+                raise IntervalError("constants must be strictly positive")
+            return _NodeInfo(Interval.point(node.value), Interval.point(0))
+        if isinstance(node, E.Add):
+            left = self._analyze(node.left, boxes)
+            right = self._analyze(node.right, boxes)
+            # For positive operands the exact relative error of the sum is a
+            # convex combination of the operands' relative errors.
+            combined = left.relative.join(right.relative)
+            return _NodeInfo(left.range + right.range, self._apply_rounding(combined))
+        if isinstance(node, E.Mul):
+            left = self._analyze(node.left, boxes)
+            right = self._analyze(node.right, boxes)
+            combined = (_ONE + left.relative) * (_ONE + right.relative) - _ONE
+            return _NodeInfo(left.range * right.range, self._apply_rounding(combined))
+        if isinstance(node, E.Div):
+            left = self._analyze(node.left, boxes)
+            right = self._analyze(node.right, boxes)
+            denominator = _ONE + right.relative
+            if denominator.contains_zero() or not denominator.is_positive():
+                raise IntervalError("relative error of the divisor reaches -100%")
+            combined = (_ONE + left.relative) / denominator - _ONE
+            return _NodeInfo(left.range / right.range, self._apply_rounding(combined))
+        if isinstance(node, E.Sqrt):
+            inner = self._analyze(node.operand, boxes)
+            shifted = _ONE + inner.relative
+            if not shifted.is_positive():
+                raise IntervalError("relative error of a sqrt argument reaches -100%")
+            combined = shifted.sqrt() - _ONE
+            return _NodeInfo(inner.range.sqrt(), self._apply_rounding(combined))
+        if isinstance(node, E.Fma):
+            a = self._analyze(node.a, boxes)
+            b = self._analyze(node.b, boxes)
+            c = self._analyze(node.c, boxes)
+            product_rel = (_ONE + a.relative) * (_ONE + b.relative) - _ONE
+            combined = product_rel.join(c.relative)
+            return _NodeInfo(
+                a.range * b.range + c.range, self._apply_rounding(combined)
+            )
+        if isinstance(node, E.Sub):
+            raise IntervalError(
+                "subtraction can cancel and has no bounded relative error over a box"
+            )
+        if isinstance(node, E.Cond):
+            raise IntervalError("interval baseline does not handle conditionals")
+        raise TypeError(f"unknown expression node {node!r}")
+
+    # -- public API ---------------------------------------------------------------
+
+    def analyze(
+        self,
+        expression: E.RealExpr,
+        input_ranges: Mapping[str, Tuple[Fraction, Fraction]],
+        input_errors: Mapping[str, Fraction] | None = None,
+    ) -> BaselineResult:
+        start = time.perf_counter()
+        self._input_errors = dict(input_errors or {})
+        boxes: Dict[str, Interval] = {
+            name: Interval.from_pair(bounds) for name, bounds in input_ranges.items()
+        }
+        try:
+            info = self._analyze(expression, boxes)
+        except (IntervalError, KeyError, ZeroDivisionError) as exc:
+            return BaselineResult(
+                tool="gappa_like",
+                relative_error=None,
+                absolute_error=None,
+                seconds=time.perf_counter() - start,
+                failed=True,
+                message=str(exc),
+            )
+        elapsed = time.perf_counter() - start
+        relative = info.relative.abs().high
+        absolute = relative * info.range.magnitude()
+        return BaselineResult(
+            tool="gappa_like",
+            relative_error=relative,
+            absolute_error=absolute,
+            seconds=elapsed,
+        )
+
+
+def analyze_interval(
+    expression: E.RealExpr,
+    input_ranges: Mapping[str, Tuple[Fraction, Fraction]],
+    fmt: FloatFormat = BINARY64,
+    rounding: RoundingMode = RoundingMode.TOWARD_POSITIVE,
+    input_errors: Mapping[str, Fraction] | None = None,
+) -> BaselineResult:
+    """Convenience wrapper over :class:`GappaLikeAnalyzer`."""
+    return GappaLikeAnalyzer(fmt, rounding).analyze(expression, input_ranges, input_errors)

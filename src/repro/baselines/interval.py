@@ -1,0 +1,167 @@
+"""Exact rational interval arithmetic.
+
+This is the substrate for the two baseline analysers (the Gappa-style
+interval analysis and the FPTaylor-style Taylor-form analysis).  Endpoints
+are :class:`~fractions.Fraction`; ``sqrt`` uses directed correctly rounded
+square roots so every enclosure remains rigorous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Tuple, Union
+
+from ..floats.exactmath import sqrt_round
+
+__all__ = ["Interval", "IntervalError", "hull"]
+
+Number = Union[int, float, Fraction, str]
+
+_SQRT_PRECISION = 120
+
+
+class IntervalError(ArithmeticError):
+    """Raised on invalid interval operations (division by an interval containing 0…)."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[low, high]`` with exact rational endpoints."""
+
+    low: Fraction
+    high: Fraction
+
+    def __post_init__(self):
+        low, high = Fraction(self.low), Fraction(self.high)
+        if low > high:
+            raise IntervalError(f"invalid interval [{low}, {high}]")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", high)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def point(value: Number) -> "Interval":
+        value = Fraction(value)
+        return Interval(value, value)
+
+    @staticmethod
+    def from_pair(pair: Tuple[Number, Number]) -> "Interval":
+        return Interval(Fraction(pair[0]), Fraction(pair[1]))
+
+    @staticmethod
+    def symmetric(radius: Number) -> "Interval":
+        radius = abs(Fraction(radius))
+        return Interval(-radius, radius)
+
+    # -- predicates ------------------------------------------------------------
+
+    def contains(self, value: Number) -> bool:
+        return self.low <= Fraction(value) <= self.high
+
+    def contains_zero(self) -> bool:
+        return self.low <= 0 <= self.high
+
+    def is_positive(self) -> bool:
+        return self.low > 0
+
+    def is_negative(self) -> bool:
+        return self.high < 0
+
+    @property
+    def width(self) -> Fraction:
+        return self.high - self.low
+
+    @property
+    def midpoint(self) -> Fraction:
+        return (self.low + self.high) / 2
+
+    def magnitude(self) -> Fraction:
+        """``max |x|`` over the interval."""
+        return max(abs(self.low), abs(self.high))
+
+    def mignitude(self) -> Fraction:
+        """``min |x|`` over the interval (0 when the interval straddles 0)."""
+        if self.contains_zero():
+            return Fraction(0)
+        return min(abs(self.low), abs(self.high))
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        other = _as_interval(other)
+        return Interval(self.low + other.low, self.high + other.high)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        other = _as_interval(other)
+        return Interval(self.low - other.high, self.high - other.low)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.high, -self.low)
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        other = _as_interval(other)
+        products = [
+            self.low * other.low,
+            self.low * other.high,
+            self.high * other.low,
+            self.high * other.high,
+        ]
+        return Interval(min(products), max(products))
+
+    def __truediv__(self, other: "Interval") -> "Interval":
+        other = _as_interval(other)
+        if other.contains_zero():
+            raise IntervalError(f"division by an interval containing zero: {other}")
+        reciprocals = Interval(Fraction(1) / other.high, Fraction(1) / other.low)
+        return self * reciprocals
+
+    def scale(self, factor: Number) -> "Interval":
+        factor = Fraction(factor)
+        if factor >= 0:
+            return Interval(self.low * factor, self.high * factor)
+        return Interval(self.high * factor, self.low * factor)
+
+    def sqrt(self) -> "Interval":
+        if self.low < 0:
+            raise IntervalError(f"sqrt of an interval with negative values: {self}")
+        low = sqrt_round(self.low, _SQRT_PRECISION, "RD")
+        high = sqrt_round(self.high, _SQRT_PRECISION, "RU")
+        return Interval(low, high)
+
+    def abs(self) -> "Interval":
+        if self.low >= 0:
+            return self
+        if self.high <= 0:
+            return -self
+        return Interval(Fraction(0), self.magnitude())
+
+    def widen(self, relative: Number) -> "Interval":
+        """Multiply by ``(1 + [-relative, +relative])`` — one standard-model rounding."""
+        relative = abs(Fraction(relative))
+        factor = Interval(1 - relative, 1 + relative)
+        return self * factor
+
+    def join(self, other: "Interval") -> "Interval":
+        other = _as_interval(other)
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def __str__(self) -> str:
+        return f"[{float(self.low):.6g}, {float(self.high):.6g}]"
+
+
+def _as_interval(value: Union[Interval, Number]) -> Interval:
+    if isinstance(value, Interval):
+        return value
+    return Interval.point(value)
+
+
+def hull(intervals: Iterable[Interval]) -> Interval:
+    """The interval hull (join) of a non-empty collection of intervals."""
+    result = None
+    for interval in intervals:
+        result = interval if result is None else result.join(interval)
+    if result is None:
+        raise IntervalError("hull of an empty collection")
+    return result

@@ -1,0 +1,86 @@
+"""Textbook worst-case relative error bounds (the "Std." column of Table 4).
+
+These are the classical a-priori bounds from the numerical analysis
+literature that the paper compares its large benchmarks against:
+
+* Horner's scheme with fused multiply-adds (Higham 2002, §5.1),
+* recursive (serial) summation (Boldo et al. 2023, and Higham §4.2),
+* matrix multiplication / inner products (Higham §3.5).
+
+All bounds are expressed with the gamma notation ``γ_n = n·u / (1 − n·u)``
+and returned as exact rationals.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..floats.formats import BINARY64, FloatFormat
+
+__all__ = [
+    "gamma",
+    "horner_fma_bound",
+    "horner_bound",
+    "serial_summation_bound",
+    "pairwise_summation_bound",
+    "dot_product_bound",
+    "matrix_multiply_bound",
+]
+
+
+def _unit_roundoff(fmt: FloatFormat, directed: bool) -> Fraction:
+    return fmt.unit_roundoff(directed)
+
+
+def gamma(n: int, u: Fraction) -> Fraction:
+    """``γ_n = n u / (1 - n u)`` (requires ``n u < 1``)."""
+    n_u = n * u
+    if n_u >= 1:
+        raise ValueError("gamma_n is undefined for n*u >= 1")
+    return n_u / (1 - n_u)
+
+
+def horner_fma_bound(
+    degree: int, fmt: FloatFormat = BINARY64, directed: bool = True
+) -> Fraction:
+    """Relative error of degree-``n`` Horner evaluation using FMAs: ``γ_n``.
+
+    With a fused multiply-add per coefficient only ``n`` roundings occur.
+    """
+    return gamma(degree, _unit_roundoff(fmt, directed))
+
+
+def horner_bound(degree: int, fmt: FloatFormat = BINARY64, directed: bool = True) -> Fraction:
+    """Relative error of the classical Horner scheme (no FMA): ``γ_{2n}``."""
+    return gamma(2 * degree, _unit_roundoff(fmt, directed))
+
+
+def serial_summation_bound(
+    terms: int, fmt: FloatFormat = BINARY64, directed: bool = True
+) -> Fraction:
+    """Relative error of recursive summation of ``n`` non-negative terms: ``γ_{n-1}``."""
+    if terms < 2:
+        return Fraction(0)
+    return gamma(terms - 1, _unit_roundoff(fmt, directed))
+
+
+def pairwise_summation_bound(
+    terms: int, fmt: FloatFormat = BINARY64, directed: bool = True
+) -> Fraction:
+    """Relative error of pairwise summation of ``n`` non-negative terms: ``γ_{⌈log2 n⌉}``."""
+    if terms < 2:
+        return Fraction(0)
+    depth = (terms - 1).bit_length()
+    return gamma(depth, _unit_roundoff(fmt, directed))
+
+
+def dot_product_bound(length: int, fmt: FloatFormat = BINARY64, directed: bool = True) -> Fraction:
+    """Relative error of an ``n``-term inner product of positive vectors: ``γ_n``."""
+    return gamma(length, _unit_roundoff(fmt, directed))
+
+
+def matrix_multiply_bound(
+    dimension: int, fmt: FloatFormat = BINARY64, directed: bool = True
+) -> Fraction:
+    """Element-wise relative error of an ``n×n`` matrix product: ``γ_n``."""
+    return dot_product_bound(dimension, fmt, directed)

@@ -1,0 +1,56 @@
+"""Benchmark programs and the harness regenerating the paper's Tables 3–5."""
+
+from .base import Benchmark, DEFAULT_INPUT_RANGE, benchmark_from_expression, benchmark_from_source
+from .conditionals import conditional_benchmark, table5_benchmarks
+from .fpbench import small_benchmark, table3_benchmarks
+from .large import (
+    dot_product_expression,
+    horner_benchmark,
+    horner_fma_expression,
+    matrix_multiply_benchmark,
+    naive_polynomial_expression,
+    pairwise_sum_expression,
+    poly50_benchmark,
+    serial_sum_benchmark,
+    serial_sum_expression,
+    table4_benchmarks,
+)
+from .paper_examples import PAPER_EXAMPLES, PaperExample, paper_example
+from .runner import (
+    render_rows,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+
+__all__ = [
+    "Benchmark",
+    "DEFAULT_INPUT_RANGE",
+    "benchmark_from_expression",
+    "benchmark_from_source",
+    "table3_benchmarks",
+    "small_benchmark",
+    "table4_benchmarks",
+    "table5_benchmarks",
+    "conditional_benchmark",
+    "horner_benchmark",
+    "horner_fma_expression",
+    "serial_sum_benchmark",
+    "serial_sum_expression",
+    "pairwise_sum_expression",
+    "naive_polynomial_expression",
+    "poly50_benchmark",
+    "dot_product_expression",
+    "matrix_multiply_benchmark",
+    "PAPER_EXAMPLES",
+    "PaperExample",
+    "paper_example",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "render_rows",
+]

@@ -1,0 +1,162 @@
+"""Common benchmark representation used by the Tables 3–5 harnesses.
+
+A :class:`Benchmark` packages everything needed to reproduce one row of the
+paper's evaluation tables:
+
+* the real-valued expression (the FPCore-style IR), or — for benchmarks that
+  cannot be expressed as a plain expression, such as ``Horner2_with_error``
+  with erroneous inputs — a Λnum surface program;
+* the operation count the paper reports;
+* the bounds reported in the paper for Λnum and, when applicable, for
+  FPTaylor, Gappa or the textbook ("Std.") bound, so EXPERIMENTS.md can show
+  paper-vs-measured side by side;
+* the input box used for the baseline tools (``[0.1, 1000]`` in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from ..analysis.analyzer import ErrorAnalysis, analyze_term
+from ..baselines.gappa_like import BaselineResult, analyze_interval
+from ..baselines.fptaylor_like import analyze_taylor
+from ..core import ast as A
+from ..core import types as T
+from ..core.inference import InferenceConfig
+from ..core.parser import parse_program
+from ..frontend import expr as E
+from ..frontend.compiler import compile_expression
+
+__all__ = ["Benchmark", "DEFAULT_INPUT_RANGE", "benchmark_from_expression", "benchmark_from_source"]
+
+#: The input interval used for every variable in the paper's comparison.
+DEFAULT_INPUT_RANGE: Tuple[Fraction, Fraction] = (Fraction(1, 10), Fraction(1000))
+
+
+@dataclass
+class Benchmark:
+    """One benchmark program of the evaluation."""
+
+    name: str
+    operations: int
+    source_note: str = ""
+    expression: Optional[E.RealExpr] = None
+    term: Optional[A.Term] = None
+    skeleton: Dict[str, T.Type] = field(default_factory=dict)
+    input_ranges: Dict[str, Tuple[Fraction, Fraction]] = field(default_factory=dict)
+    input_errors: Dict[str, Fraction] = field(default_factory=dict)
+    paper_bounds: Dict[str, float] = field(default_factory=dict)
+    paper_operations: Optional[int] = None
+    supports_baselines: bool = True
+
+    # -- construction helpers ------------------------------------------------
+
+    def __post_init__(self) -> None:
+        if self.term is None:
+            if self.expression is None:
+                raise ValueError(f"benchmark {self.name} needs an expression or a term")
+            compiled = compile_expression(self.expression)
+            self.term = compiled.term
+            self.skeleton = dict(compiled.skeleton)
+        if not self.input_ranges:
+            if self.skeleton:
+                names = tuple(self.skeleton.keys())
+            elif self.expression is not None:
+                names = E.free_variables(self.expression)
+            else:
+                names = ()
+            self.input_ranges = {name: DEFAULT_INPUT_RANGE for name in names}
+        if self.paper_operations is None:
+            self.paper_operations = self.operations
+
+    # -- analyses -------------------------------------------------------------
+
+    def analyze_lnum(self, config: InferenceConfig | None = None) -> ErrorAnalysis:
+        """Run Λnum sensitivity inference on the benchmark program."""
+        return analyze_term(self.term, self.skeleton, config, name=self.name)
+
+    def analyze_gappa_like(self) -> Optional[BaselineResult]:
+        if not self.supports_baselines or self.expression is None:
+            return None
+        return analyze_interval(
+            self.expression, self.input_ranges, input_errors=self.input_errors
+        )
+
+    def analyze_fptaylor_like(self) -> Optional[BaselineResult]:
+        if not self.supports_baselines or self.expression is None:
+            return None
+        return analyze_taylor(
+            self.expression, self.input_ranges, input_errors=self.input_errors
+        )
+
+    # -- concrete evaluation ----------------------------------------------------
+
+    def sample_inputs(self, seed: int = 0) -> Dict[str, Fraction]:
+        """Deterministic in-range inputs for empirical soundness checks."""
+        import random
+
+        rng = random.Random(seed)
+        inputs: Dict[str, Fraction] = {}
+        for name in self.skeleton:
+            low, high = self.input_ranges.get(name, DEFAULT_INPUT_RANGE)
+            numerator = rng.randint(1, 10**6)
+            fraction = Fraction(numerator, 10**6)
+            inputs[name] = low + (high - low) * fraction
+        return inputs
+
+
+def benchmark_from_expression(
+    name: str,
+    expression: E.RealExpr,
+    source_note: str = "",
+    paper_bounds: Mapping[str, float] | None = None,
+    paper_operations: Optional[int] = None,
+    input_errors: Mapping[str, Fraction] | None = None,
+) -> Benchmark:
+    """Build a benchmark from an expression (operations counted automatically)."""
+    return Benchmark(
+        name=name,
+        operations=E.arithmetic_operation_count(expression),
+        source_note=source_note,
+        expression=expression,
+        paper_bounds=dict(paper_bounds or {}),
+        paper_operations=paper_operations,
+        input_errors=dict(input_errors or {}),
+    )
+
+
+def benchmark_from_source(
+    name: str,
+    source: str,
+    function: Optional[str] = None,
+    operations: int = 0,
+    source_note: str = "",
+    paper_bounds: Mapping[str, float] | None = None,
+    paper_operations: Optional[int] = None,
+    expression: Optional[E.RealExpr] = None,
+    input_errors: Mapping[str, Fraction] | None = None,
+) -> Benchmark:
+    """Build a benchmark from a Λnum surface program.
+
+    The analysed term is the (curried) function named ``function`` (the last
+    definition by default); its arguments stay lambda-bound, so the skeleton
+    is empty and the reported bound is the grade of the final monadic result
+    type, exactly as in the paper.
+    """
+    program = parse_program(source)
+    target = function or program.names()[-1]
+    term = program.term_for(target)
+    return Benchmark(
+        name=name,
+        operations=operations,
+        source_note=source_note,
+        expression=expression,
+        term=term,
+        skeleton={},
+        paper_bounds=dict(paper_bounds or {}),
+        paper_operations=paper_operations,
+        input_errors=dict(input_errors or {}),
+        supports_baselines=expression is not None,
+    )

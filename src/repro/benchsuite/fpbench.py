@@ -1,0 +1,257 @@
+"""The small benchmarks of Table 3 (fewer than 50 floating-point operations).
+
+Thirteen of the paper's seventeen small benchmarks come from FPBench; the
+remaining four are the Horner-scheme programs of Section 5.  FPBench is not
+vendored in this repository, so each expression is *reconstructed* from its
+standard FPBench definition (restricted, as in the paper, to the operations
+``+ * / sqrt`` over strictly positive inputs); the reconstruction is recorded
+in each benchmark's ``source_note`` and operation counts may differ by one or
+two from the paper's "Ops" column.
+
+The ``paper_bounds`` dictionaries record the numbers reported in Table 3
+(binary64, round towards +∞, all inputs in ``[0.1, 1000]``) so the harness
+and EXPERIMENTS.md can compare measured values against the paper.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List
+
+from ..core.grades import DEFAULT_REGISTRY, EPS_SYMBOL
+from ..frontend import expr as E
+from .base import Benchmark, benchmark_from_expression, benchmark_from_source
+from .large import horner_fma_expression
+
+__all__ = ["table3_benchmarks", "small_benchmark", "HORNER2_WITH_ERROR_SOURCE"]
+
+_EPS = DEFAULT_REGISTRY.value_of(EPS_SYMBOL)
+
+
+def _x(name: str) -> E.Var:
+    return E.Var(name)
+
+
+def _hypot() -> E.RealExpr:
+    x, y = _x("x"), _x("y")
+    return E.Sqrt(E.Add(E.Mul(x, x), E.Mul(y, y)))
+
+
+def _x_by_xy() -> E.RealExpr:
+    x, y = _x("x"), _x("y")
+    return E.Div(x, E.Add(x, y))
+
+
+def _one_by_sqrtxx() -> E.RealExpr:
+    x = _x("x")
+    return E.Div(E.Const(1), E.Sqrt(E.Mul(x, x)))
+
+
+def _sqrt_add() -> E.RealExpr:
+    x = _x("x")
+    return E.Div(E.Const(1), E.Add(E.Sqrt(E.Add(x, E.Const(1))), E.Sqrt(x)))
+
+
+def _sum(count: int) -> E.RealExpr:
+    accumulator: E.RealExpr = _x("x0")
+    for index in range(1, count):
+        accumulator = E.Add(accumulator, _x(f"x{index}"))
+    return accumulator
+
+
+def _nonlin1(variable: str) -> E.RealExpr:
+    z = _x(variable)
+    return E.Div(z, E.Add(z, E.Const(1)))
+
+
+def _verhulst() -> E.RealExpr:
+    r, x, k = _x("r"), _x("x"), _x("K")
+    return E.Div(E.Mul(r, x), E.Add(E.Const(1), E.Div(x, k)))
+
+
+def _predator_prey() -> E.RealExpr:
+    r, x, k = _x("r"), _x("x"), _x("K")
+    ratio = E.Div(x, k)
+    return E.Div(E.Mul(E.Mul(r, x), x), E.Add(E.Const(1), E.Mul(ratio, ratio)))
+
+
+def _sums4_sum1() -> E.RealExpr:
+    return _sum(4)
+
+
+def _sums4_sum2() -> E.RealExpr:
+    return E.Add(E.Add(_x("x0"), _x("x1")), E.Add(_x("x2"), _x("x3")))
+
+
+def _i4() -> E.RealExpr:
+    x, y = _x("x"), _x("y")
+    return E.Sqrt(E.Add(x, E.Mul(y, y)))
+
+
+#: Horner2 with erroneous inputs (Fig. 9 of the paper): every coefficient and
+#: the point x carry one rounding of input error.  This benchmark cannot be
+#: written as a plain real expression, so it is given directly in the surface
+#: syntax; the expected grade is 7*eps (Section 5, Equation (13)).
+HORNER2_WITH_ERROR_SOURCE = """
+function FMA (x: num) (y: num) (z: num) : M[eps]num {
+  a = mul (x, y);
+  b = add (|a, z|);
+  rnd b
+}
+function Horner2_with_error
+    (a0: M[eps]num) (a1: M[eps]num) (a2: M[eps]num) (x: ![2.0]M[eps]num)
+    : M[7*eps]num {
+  let [xm] = x;
+  let a0v = a0; let a1v = a1; let a2v = a2; let xv = xm;
+  s1 = FMA a2v xv a1v;
+  let z = s1;
+  FMA z xv a0v
+}
+"""
+
+
+def _horner2_with_error_benchmark() -> Benchmark:
+    expression = horner_fma_expression(2)
+    return benchmark_from_source(
+        "Horner2_with_error",
+        HORNER2_WITH_ERROR_SOURCE,
+        function="Horner2_with_error",
+        operations=4,
+        source_note=(
+            "Fig. 9 of the paper: Horner evaluation of a quadratic with inputs that "
+            "already carry eps of rounding error; the baselines receive the same "
+            "expression with per-input relative errors of eps"
+        ),
+        paper_bounds={"lnum": 1.55e-15, "fptaylor": 1.61e-10, "gappa": 1.11e-15, "ratio": 1.4},
+        paper_operations=4,
+        expression=expression,
+        input_errors={name: _EPS for name in ("a0", "a1", "a2", "x")},
+    )
+
+
+def table3_benchmarks() -> List[Benchmark]:
+    """All seventeen small benchmarks, in the order of Table 3."""
+    rows = [
+        benchmark_from_expression(
+            "hypot",
+            _hypot(),
+            source_note="FPBench hypot: sqrt(x*x + y*y)",
+            paper_bounds={"lnum": 5.55e-16, "fptaylor": 5.17e-16, "gappa": 4.46e-16, "ratio": 1.3},
+            paper_operations=4,
+        ),
+        benchmark_from_expression(
+            "x_by_xy",
+            _x_by_xy(),
+            source_note="FPBench x_by_xy: x / (x + y)",
+            paper_bounds={"lnum": 4.44e-16, "fptaylor": float("nan"), "gappa": 2.22e-16, "ratio": 2.0},
+            paper_operations=3,
+        ),
+        benchmark_from_expression(
+            "one_by_sqrtxx",
+            _one_by_sqrtxx(),
+            source_note="1 / sqrt(x*x)",
+            paper_bounds={"lnum": 5.55e-16, "fptaylor": 5.09e-13, "gappa": 3.33e-16, "ratio": 1.7},
+            paper_operations=3,
+        ),
+        benchmark_from_expression(
+            "sqrt_add",
+            _sqrt_add(),
+            source_note="FPBench sqrt_add: 1 / (sqrt(x + 1) + sqrt(x))",
+            paper_bounds={"lnum": 9.99e-16, "fptaylor": 6.66e-16, "gappa": 5.54e-16, "ratio": 1.5},
+            paper_operations=5,
+        ),
+        benchmark_from_expression(
+            "test02_sum8",
+            _sum(8),
+            source_note="FPBench test02_sum8: serial sum of eight inputs",
+            paper_bounds={"lnum": 1.55e-15, "fptaylor": 9.32e-14, "gappa": 1.55e-15, "ratio": 1.0},
+            paper_operations=8,
+        ),
+        benchmark_from_expression(
+            "nonlin1",
+            _nonlin1("z"),
+            source_note="FPBench nonlin1: z / (z + 1)",
+            paper_bounds={"lnum": 4.44e-16, "fptaylor": 4.49e-16, "gappa": 2.22e-16, "ratio": 2.0},
+            paper_operations=2,
+        ),
+        benchmark_from_expression(
+            "test05_nonlin1",
+            _nonlin1("r"),
+            source_note="FPBench test05_nonlin1: r / (r + 1)",
+            paper_bounds={"lnum": 4.44e-16, "fptaylor": 4.46e-16, "gappa": 2.22e-16, "ratio": 2.0},
+            paper_operations=2,
+        ),
+        benchmark_from_expression(
+            "verhulst",
+            _verhulst(),
+            source_note="FPBench verhulst: (r*x) / (1 + x/K)",
+            paper_bounds={"lnum": 8.88e-16, "fptaylor": 7.38e-16, "gappa": 4.44e-16, "ratio": 2.0},
+            paper_operations=4,
+        ),
+        benchmark_from_expression(
+            "predatorPrey",
+            _predator_prey(),
+            source_note="FPBench predatorPrey: (r*x*x) / (1 + (x/K)*(x/K))",
+            paper_bounds={"lnum": 1.55e-15, "fptaylor": 4.21e-11, "gappa": 8.88e-16, "ratio": 1.7},
+            paper_operations=7,
+        ),
+        benchmark_from_expression(
+            "test06_sums4_sum1",
+            _sums4_sum1(),
+            source_note="FPBench test06_sums4_sum1: serial sum of four inputs",
+            paper_bounds={"lnum": 6.66e-16, "fptaylor": 6.71e-16, "gappa": 6.66e-16, "ratio": 1.0},
+            paper_operations=4,
+        ),
+        benchmark_from_expression(
+            "test06_sums4_sum2",
+            _sums4_sum2(),
+            source_note="FPBench test06_sums4_sum2: pairwise sum of four inputs",
+            paper_bounds={"lnum": 6.66e-16, "fptaylor": 1.78e-14, "gappa": 4.44e-16, "ratio": 1.5},
+            paper_operations=4,
+        ),
+        benchmark_from_expression(
+            "i4",
+            _i4(),
+            source_note="FPBench i4: sqrt(x + y*y)",
+            paper_bounds={"lnum": 4.44e-16, "fptaylor": 4.50e-16, "gappa": 4.44e-16, "ratio": 1.0},
+            paper_operations=4,
+        ),
+        benchmark_from_expression(
+            "Horner2",
+            horner_fma_expression(2),
+            source_note="degree-2 Horner scheme with FMAs (Fig. 9)",
+            paper_bounds={"lnum": 4.44e-16, "fptaylor": 6.49e-11, "gappa": 4.44e-16, "ratio": 1.0},
+            paper_operations=4,
+        ),
+        _horner2_with_error_benchmark(),
+        benchmark_from_expression(
+            "Horner5",
+            horner_fma_expression(5),
+            source_note="degree-5 Horner scheme with FMAs",
+            paper_bounds={"lnum": 1.11e-15, "fptaylor": 1.62e-01, "gappa": 1.11e-15, "ratio": 1.0},
+            paper_operations=10,
+        ),
+        benchmark_from_expression(
+            "Horner10",
+            horner_fma_expression(10),
+            source_note="degree-10 Horner scheme with FMAs",
+            paper_bounds={"lnum": 2.22e-15, "fptaylor": 1.14e13, "gappa": 2.22e-15, "ratio": 1.0},
+            paper_operations=20,
+        ),
+        benchmark_from_expression(
+            "Horner20",
+            horner_fma_expression(20),
+            source_note="degree-20 Horner scheme with FMAs",
+            paper_bounds={"lnum": 4.44e-15, "fptaylor": 2.53e43, "gappa": 4.44e-15, "ratio": 1.0},
+            paper_operations=40,
+        ),
+    ]
+    return rows
+
+
+def small_benchmark(name: str) -> Benchmark:
+    """Look up one Table 3 benchmark by name."""
+    for benchmark in table3_benchmarks():
+        if benchmark.name == name:
+            return benchmark
+    raise KeyError(f"no small benchmark named {name!r}")

@@ -1,0 +1,197 @@
+"""Generators for the large benchmarks of Table 4.
+
+These benchmarks are programs with hundreds to millions of floating-point
+operations: Horner evaluation of high-degree polynomials, recursive (serial)
+summation, naive power-basis polynomial evaluation (``Poly50``, from the
+SATIRE benchmark suite) and dense matrix multiplication.
+
+Matrix multiplication deserves a note: the paper reports the *maximum
+element-wise* relative-error bound of the n×n product.  Every element is an
+inner product of length n with an identical program structure, so the
+harness analyses one element's program and reports the total operation count
+of the full product (n² · (2n−1)); `matrix_multiply_benchmark(n, full=True)`
+instead types every element, which is what the paper's timing measures.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ..baselines.standard_bounds import (
+    dot_product_bound,
+    horner_fma_bound,
+    serial_summation_bound,
+)
+from ..frontend import expr as E
+from .base import Benchmark, benchmark_from_expression
+
+__all__ = [
+    "horner_fma_expression",
+    "serial_sum_expression",
+    "pairwise_sum_expression",
+    "naive_polynomial_expression",
+    "dot_product_expression",
+    "horner_benchmark",
+    "serial_sum_benchmark",
+    "poly50_benchmark",
+    "matrix_multiply_benchmark",
+    "table4_benchmarks",
+]
+
+
+def horner_fma_expression(degree: int, prefix: str = "a", variable: str = "x") -> E.RealExpr:
+    """Horner's scheme for a degree-``n`` polynomial using one FMA per level."""
+    if degree < 1:
+        raise ValueError("degree must be at least 1")
+    x = E.Var(variable)
+    accumulator: E.RealExpr = E.Var(f"{prefix}{degree}")
+    for index in range(degree - 1, -1, -1):
+        accumulator = E.Fma(accumulator, x, E.Var(f"{prefix}{index}"))
+    return accumulator
+
+
+def serial_sum_expression(terms: int, prefix: str = "x") -> E.RealExpr:
+    """Left-to-right recursive summation of ``terms`` inputs."""
+    if terms < 2:
+        raise ValueError("need at least two terms")
+    accumulator: E.RealExpr = E.Var(f"{prefix}0")
+    for index in range(1, terms):
+        accumulator = E.Add(accumulator, E.Var(f"{prefix}{index}"))
+    return accumulator
+
+
+def pairwise_sum_expression(terms: int, prefix: str = "x") -> E.RealExpr:
+    """Balanced (pairwise) summation of ``terms`` inputs."""
+    leaves: List[E.RealExpr] = [E.Var(f"{prefix}{index}") for index in range(terms)]
+    while len(leaves) > 1:
+        paired: List[E.RealExpr] = []
+        for index in range(0, len(leaves) - 1, 2):
+            paired.append(E.Add(leaves[index], leaves[index + 1]))
+        if len(leaves) % 2 == 1:
+            paired.append(leaves[-1])
+        leaves = paired
+    return leaves[0]
+
+
+def naive_polynomial_expression(degree: int, prefix: str = "a", variable: str = "x") -> E.RealExpr:
+    """Power-basis evaluation with every power computed from scratch.
+
+    ``p(x) = a0 + a1*x + a2*(x*x) + …`` where ``x^i`` is recomputed with
+    ``i - 1`` multiplications (this is the SATIRE ``Poly50`` benchmark shape:
+    the error of the leading term grows linearly with the degree, and the
+    total operation count is quadratic).
+    """
+    x = E.Var(variable)
+    result: E.RealExpr = E.Var(f"{prefix}0")
+    for index in range(1, degree + 1):
+        power: E.RealExpr = x
+        for _ in range(index - 1):
+            power = E.Mul(power, x)
+        term = E.Mul(E.Var(f"{prefix}{index}"), power)
+        result = E.Add(result, term)
+    return result
+
+
+def dot_product_expression(length: int, left: str = "a", right: str = "b") -> E.RealExpr:
+    """A length-``n`` inner product ``Σ a_i b_i`` with serial accumulation."""
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    accumulator: E.RealExpr = E.Mul(E.Var(f"{left}0"), E.Var(f"{right}0"))
+    for index in range(1, length):
+        product = E.Mul(E.Var(f"{left}{index}"), E.Var(f"{right}{index}"))
+        accumulator = E.Add(accumulator, product)
+    return accumulator
+
+
+# ---------------------------------------------------------------------------
+# Table 4 rows
+# ---------------------------------------------------------------------------
+
+
+def horner_benchmark(degree: int, paper_bound: Optional[float] = None) -> Benchmark:
+    expression = horner_fma_expression(degree)
+    bounds: Dict[str, float] = {"std": float(horner_fma_bound(degree))}
+    if paper_bound is not None:
+        bounds["lnum"] = paper_bound
+    return benchmark_from_expression(
+        f"Horner{degree}",
+        expression,
+        source_note=(
+            "Horner's scheme with fused multiply-adds; the paper counts the fused "
+            "multiply and add as two operations"
+        ),
+        paper_bounds=bounds,
+        paper_operations=2 * degree,
+    )
+
+
+def serial_sum_benchmark(terms: int = 1024, paper_bound: Optional[float] = None) -> Benchmark:
+    expression = serial_sum_expression(terms)
+    bounds: Dict[str, float] = {"std": float(serial_summation_bound(terms))}
+    if paper_bound is not None:
+        bounds["lnum"] = paper_bound
+    return benchmark_from_expression(
+        f"SerialSum{terms}",
+        expression,
+        source_note="left-to-right summation of positive inputs (SATIRE benchmark)",
+        paper_bounds=bounds,
+        paper_operations=terms - 1,
+    )
+
+
+def poly50_benchmark(degree: int = 50, paper_bound: Optional[float] = None) -> Benchmark:
+    expression = naive_polynomial_expression(degree)
+    bounds: Dict[str, float] = {}
+    if paper_bound is not None:
+        bounds["lnum"] = paper_bound
+    return benchmark_from_expression(
+        f"Poly{degree}",
+        expression,
+        source_note=(
+            "power-basis polynomial with powers recomputed from scratch "
+            "(reconstruction of the SATIRE Poly50 benchmark)"
+        ),
+        paper_bounds=bounds,
+    )
+
+
+def matrix_multiply_benchmark(dimension: int, paper_bound: Optional[float] = None) -> Benchmark:
+    """One element of the ``n×n`` matrix product (an ``n``-term inner product)."""
+    expression = dot_product_expression(dimension)
+    bounds: Dict[str, float] = {"std": float(dot_product_bound(dimension))}
+    if paper_bound is not None:
+        bounds["lnum"] = paper_bound
+    total_operations = dimension * dimension * (2 * dimension - 1)
+    return benchmark_from_expression(
+        f"MatrixMultiply{dimension}",
+        expression,
+        source_note=(
+            "max element-wise bound of the dense n-by-n matrix product; each element "
+            "is an identical n-term inner product, so one element is analysed and the "
+            "operation count reports the full product"
+        ),
+        paper_bounds=bounds,
+        paper_operations=total_operations,
+    )
+
+
+def table4_benchmarks(include_huge: bool = False) -> List[Benchmark]:
+    """The Table 4 benchmark list.
+
+    ``include_huge`` adds MatrixMultiply128 (4.1M operations in the paper);
+    it is excluded by default to keep the benchmark run short.
+    """
+    benchmarks = [
+        horner_benchmark(50, paper_bound=1.11e-14),
+        matrix_multiply_benchmark(4, paper_bound=1.55e-15),
+        horner_benchmark(75, paper_bound=1.66e-14),
+        horner_benchmark(100, paper_bound=2.22e-14),
+        serial_sum_benchmark(1024, paper_bound=2.27e-13),
+        poly50_benchmark(50, paper_bound=2.94e-13),
+        matrix_multiply_benchmark(16, paper_bound=6.88e-15),
+        matrix_multiply_benchmark(64, paper_bound=2.82e-14),
+    ]
+    if include_huge:
+        benchmarks.append(matrix_multiply_benchmark(128, paper_bound=5.66e-14))
+    return benchmarks

@@ -1,0 +1,249 @@
+"""The benchmark harness: regenerates every evaluation table of the paper.
+
+Each ``tableN_rows`` function returns a list of dictionaries (one per row)
+containing both the values measured by this reproduction and the values
+reported in the paper, so the output can be compared side by side.  The
+module is runnable::
+
+    python -m repro.benchsuite.runner table3
+    python -m repro.benchsuite.runner table4 --full
+    python -m repro.benchsuite.runner table5
+    python -m repro.benchsuite.runner all
+
+The pytest-benchmark harnesses under ``benchmarks/`` call the same row
+builders, so the printed tables and the benchmark timings always agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.analyzer import ErrorAnalysis
+from ..core.inference import InferenceConfig
+from ..floats.formats import format_table
+from ..floats.rounding import rounding_mode_table
+from .base import Benchmark
+from .conditionals import table5_benchmarks
+from .fpbench import table3_benchmarks
+from .large import table4_benchmarks
+
+__all__ = [
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "render_rows",
+    "main",
+]
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Table 1: IEEE 754 format parameters."""
+    return format_table()
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    """Table 2: rounding modes and unit roundoffs (binary64)."""
+    rows = []
+    for row in rounding_mode_table(precision=53):
+        rows.append(
+            {
+                "mode": row["mode"],
+                "behaviour": row["behaviour"],
+                "unit_roundoff": float(row["unit_roundoff"]),
+            }
+        )
+    return rows
+
+
+def _lnum_row(benchmark: Benchmark, config: InferenceConfig | None = None) -> Dict[str, object]:
+    analysis: ErrorAnalysis = benchmark.analyze_lnum(config)
+    bound = (
+        float(analysis.relative_error_bound)
+        if analysis.relative_error_bound is not None
+        else float("nan")
+    )
+    return {
+        "benchmark": benchmark.name,
+        "ops": benchmark.paper_operations,
+        "measured_ops": benchmark.operations,
+        "lnum_grade": str(analysis.error_grade),
+        "lnum_bound": bound,
+        "lnum_seconds": analysis.inference_seconds,
+        "paper_lnum_bound": benchmark.paper_bounds.get("lnum"),
+        "note": benchmark.source_note,
+    }
+
+
+def table3_rows(
+    run_baselines: bool = True, config: InferenceConfig | None = None
+) -> List[Dict[str, object]]:
+    """Table 3: small benchmarks, Λnum vs the FPTaylor- and Gappa-style baselines."""
+    rows = []
+    for benchmark in table3_benchmarks():
+        row = _lnum_row(benchmark, config)
+        row.update(
+            {
+                "fptaylor_bound": None,
+                "fptaylor_seconds": None,
+                "gappa_bound": None,
+                "gappa_seconds": None,
+                "ratio": None,
+                "paper_fptaylor_bound": benchmark.paper_bounds.get("fptaylor"),
+                "paper_gappa_bound": benchmark.paper_bounds.get("gappa"),
+                "paper_ratio": benchmark.paper_bounds.get("ratio"),
+            }
+        )
+        if run_baselines:
+            taylor = benchmark.analyze_fptaylor_like()
+            interval = benchmark.analyze_gappa_like()
+            if taylor is not None:
+                row["fptaylor_bound"] = (
+                    None if taylor.failed else float(taylor.relative_error)
+                )
+                row["fptaylor_seconds"] = taylor.seconds
+            if interval is not None:
+                row["gappa_bound"] = (
+                    None if interval.failed else float(interval.relative_error)
+                )
+                row["gappa_seconds"] = interval.seconds
+            best = min(
+                (value for value in (row["fptaylor_bound"], row["gappa_bound"]) if value),
+                default=None,
+            )
+            if best and row["lnum_bound"] == row["lnum_bound"]:
+                row["ratio"] = row["lnum_bound"] / best
+        rows.append(row)
+    return rows
+
+
+def table4_rows(
+    include_huge: bool = False, config: InferenceConfig | None = None
+) -> List[Dict[str, object]]:
+    """Table 4: large benchmarks, Λnum vs the textbook worst-case bounds."""
+    rows = []
+    for benchmark in table4_benchmarks(include_huge=include_huge):
+        row = _lnum_row(benchmark, config)
+        row["std_bound"] = benchmark.paper_bounds.get("std")
+        rows.append(row)
+    return rows
+
+
+def table5_rows(config: InferenceConfig | None = None) -> List[Dict[str, object]]:
+    """Table 5: conditional benchmarks."""
+    return [_lnum_row(benchmark, config) for benchmark in table5_benchmarks()]
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN marks a failure in the paper's table too
+            return "fail"
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e4:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_rows(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+    table = [[_format_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in table))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(line[index].ljust(widths[index]) for index in range(len(columns)))
+        for line in table
+    )
+    return "\n".join([header, separator, body])
+
+
+_TABLE3_COLUMNS = [
+    "benchmark",
+    "ops",
+    "lnum_bound",
+    "fptaylor_bound",
+    "gappa_bound",
+    "ratio",
+    "lnum_seconds",
+    "fptaylor_seconds",
+    "gappa_seconds",
+    "paper_lnum_bound",
+]
+
+_TABLE4_COLUMNS = [
+    "benchmark",
+    "ops",
+    "lnum_bound",
+    "std_bound",
+    "lnum_seconds",
+    "paper_lnum_bound",
+]
+
+_TABLE5_COLUMNS = ["benchmark", "lnum_bound", "lnum_seconds", "paper_lnum_bound"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate the paper's evaluation tables")
+    parser.add_argument(
+        "table",
+        choices=["table1", "table2", "table3", "table4", "table5", "all"],
+        help="which table to regenerate",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="include the largest benchmarks (MatrixMultiply128) in table4",
+    )
+    parser.add_argument(
+        "--no-baselines",
+        action="store_true",
+        help="skip the FPTaylor/Gappa-style baselines in table3",
+    )
+    arguments = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    if arguments.table in ("table1", "all"):
+        print("Table 1: floating-point formats")
+        print(render_rows(table1_rows()))
+        print()
+    if arguments.table in ("table2", "all"):
+        print("Table 2: rounding modes (binary64)")
+        print(render_rows(table2_rows()))
+        print()
+    if arguments.table in ("table3", "all"):
+        print("Table 3: small benchmarks (relative error bounds; smaller is better)")
+        print(render_rows(table3_rows(run_baselines=not arguments.no_baselines), _TABLE3_COLUMNS))
+        print()
+    if arguments.table in ("table4", "all"):
+        print("Table 4: large benchmarks")
+        print(render_rows(table4_rows(include_huge=arguments.full), _TABLE4_COLUMNS))
+        print()
+    if arguments.table in ("table5", "all"):
+        print("Table 5: conditional benchmarks")
+        print(render_rows(table5_rows(), _TABLE5_COLUMNS))
+        print()
+    print(f"total time: {time.perf_counter() - start:.2f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

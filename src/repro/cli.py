@@ -1,0 +1,219 @@
+"""Command-line interface for the Λnum error analyser.
+
+Usage (after ``pip install -e .`` or from a checkout)::
+
+    python -m repro check program.lnum            # type-check every function
+    python -m repro check program.lnum -f FMA     # one function only
+    python -m repro check - < program.lnum        # read from stdin
+    python -m repro fpcore bench.fpcore           # analyse an FPCore benchmark
+    python -m repro table table3                  # regenerate a paper table
+    python -m repro validate program.lnum -i x=0.5 -i y=2   # Corollary 4.20 check
+
+The ``check`` command prints, per function, the inferred type, the rounding
+error grade, the induced relative-error bound and the inference time — the
+same information the paper's prototype reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from .analysis import analyze_program, analyze_term, check_error_soundness
+from .core import parse_program
+from .core.errors import LnumError
+from .core.inference import InferenceConfig
+from .core.grades import Grade
+from .floats.formats import STANDARD_FORMATS
+from .frontend.compiler import compile_expression
+from .frontend.fpcore import parse_fpcore
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Numerical Fuzz (Λnum): type-based rounding error analysis",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="type-check a Λnum surface program")
+    check.add_argument("path", help="path to the program, or '-' for stdin")
+    check.add_argument("-f", "--function", help="only analyse this function")
+    _add_instantiation_arguments(check)
+
+    fpcore = subparsers.add_parser("fpcore", help="analyse an FPCore benchmark")
+    fpcore.add_argument("path", help="path to the FPCore file, or '-' for stdin")
+    _add_instantiation_arguments(fpcore)
+
+    table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
+    table.add_argument(
+        "which", choices=["table1", "table2", "table3", "table4", "table5", "all"]
+    )
+    table.add_argument("--full", action="store_true", help="include MatrixMultiply128")
+    table.add_argument("--no-baselines", action="store_true")
+
+    validate = subparsers.add_parser(
+        "validate", help="run the ideal and FP semantics and check the inferred bound"
+    )
+    validate.add_argument("path", help="path to the program, or '-' for stdin")
+    validate.add_argument(
+        "-i",
+        "--input",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="input assignment (repeatable); values are exact rationals or decimals",
+    )
+    validate.add_argument("-f", "--function", help="analyse this function's body")
+    _add_instantiation_arguments(validate)
+
+    return parser
+
+
+def _add_instantiation_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--format",
+        choices=sorted(STANDARD_FORMATS),
+        default="binary64",
+        help="floating-point format fixing the unit roundoff (default binary64)",
+    )
+    parser.add_argument(
+        "--nearest",
+        action="store_true",
+        help="use the round-to-nearest unit roundoff instead of the directed one",
+    )
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _config_from_arguments(arguments: argparse.Namespace) -> InferenceConfig:
+    if arguments.format == "binary64" and not arguments.nearest:
+        # The default instantiation keeps the grade symbolic in eps, as in the paper.
+        return InferenceConfig()
+    fmt = STANDARD_FORMATS[arguments.format]
+    unit = fmt.unit_roundoff(not arguments.nearest)
+    return InferenceConfig().with_rnd_grade(Grade.constant(unit))
+
+
+def _parse_inputs(assignments: Sequence[str]) -> Dict[str, Fraction]:
+    inputs: Dict[str, Fraction] = {}
+    for assignment in assignments:
+        if "=" not in assignment:
+            raise SystemExit(f"bad input assignment {assignment!r}; expected NAME=VALUE")
+        name, _, value = assignment.partition("=")
+        inputs[name.strip()] = Fraction(value.strip())
+    return inputs
+
+
+def _command_check(arguments: argparse.Namespace) -> int:
+    source = _read_source(arguments.path)
+    config = _config_from_arguments(arguments)
+    program = parse_program(source)
+    if not program.definitions and program.main is not None:
+        report = analyze_term(program.main, {}, config, name="<main>")
+        print(report.summary())
+        return 0
+    reports = analyze_program(program, config)
+    if arguments.function:
+        reports = [report for report in reports if report.name == arguments.function]
+        if not reports:
+            raise SystemExit(f"no function named {arguments.function!r}")
+    failed = False
+    for report in reports:
+        print(report.summary())
+        print()
+        if report.annotation is not None and not report.annotation_satisfied:
+            failed = True
+    return 1 if failed else 0
+
+
+def _command_fpcore(arguments: argparse.Namespace) -> int:
+    source = _read_source(arguments.path)
+    config = _config_from_arguments(arguments)
+    core = parse_fpcore(source)
+    program = compile_expression(core.expression)
+    report = analyze_term(
+        program.term, program.skeleton, config, name=core.name or "<fpcore>"
+    )
+    print(report.summary())
+    return 0
+
+
+def _command_table(arguments: argparse.Namespace) -> int:
+    from .benchsuite import runner
+
+    argv: List[str] = [arguments.which]
+    if arguments.full:
+        argv.append("--full")
+    if arguments.no_baselines:
+        argv.append("--no-baselines")
+    return runner.main(argv)
+
+
+def _command_validate(arguments: argparse.Namespace) -> int:
+    source = _read_source(arguments.path)
+    config = _config_from_arguments(arguments)
+    program = parse_program(source)
+    if arguments.function or program.definitions:
+        name = arguments.function or program.names()[-1]
+        definition = program.definition(name)
+        term = definition.body
+        skeleton = definition.parameter_skeleton()
+        # Bring earlier definitions into scope around the body.
+        for earlier in reversed(program.definitions):
+            if earlier.name == name:
+                continue
+            from .core import ast as A
+
+            if earlier.name in A.free_variables(term):
+                term = A.Let(earlier.name, earlier.term, term)
+    else:
+        term = program.main
+        skeleton = {}
+        from .core import types as T
+        from .core import ast as A
+
+        skeleton = {variable: T.NUM for variable in A.free_variables(term)}
+    inputs = _parse_inputs(arguments.input)
+    missing = [name for name in skeleton if name not in inputs]
+    if missing:
+        raise SystemExit(f"missing inputs for: {', '.join(sorted(missing))}")
+    report = check_error_soundness(term, skeleton, inputs, config)
+    print(f"ideal value      : {float(report.ideal_value):.17g}")
+    print(f"floating-point   : {float(report.fp_value):.17g}")
+    print(f"measured RP  <=  : {float(report.rp_upper):.6e}")
+    print(f"certified bound  : {float(report.bound):.6e}")
+    print(f"bound holds      : {report.holds}")
+    return 0 if report.holds else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    handlers = {
+        "check": _command_check,
+        "fpcore": _command_fpcore,
+        "table": _command_table,
+        "validate": _command_validate,
+    }
+    try:
+        return handlers[arguments.command](arguments)
+    except LnumError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

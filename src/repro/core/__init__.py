@@ -1,0 +1,59 @@
+"""The Λnum language: syntax, type system, inference and semantics."""
+
+from . import ast
+from . import types
+from .environment import Context
+from .errors import (
+    EvaluationError,
+    LnumError,
+    ParseError,
+    SignatureError,
+    TypeCheckError,
+    TypeInferenceError,
+    TypeJoinError,
+)
+from .grades import EPS, Grade, INFINITY, ONE, ZERO, SymbolRegistry, as_grade, parse_grade
+from .inference import InferenceConfig, InferenceResult, check_term, infer, infer_type
+from .parser import Definition, Program, parse_program, parse_term, parse_type
+from .signature import Operation, Signature, standard_signature
+from .subtyping import is_subtype, join, meet
+from .typechecker import check_judgment, derivable
+
+__all__ = [
+    "ast",
+    "types",
+    "Context",
+    "LnumError",
+    "ParseError",
+    "TypeJoinError",
+    "TypeInferenceError",
+    "TypeCheckError",
+    "SignatureError",
+    "EvaluationError",
+    "Grade",
+    "EPS",
+    "ZERO",
+    "ONE",
+    "INFINITY",
+    "SymbolRegistry",
+    "as_grade",
+    "parse_grade",
+    "InferenceConfig",
+    "InferenceResult",
+    "infer",
+    "infer_type",
+    "check_term",
+    "Definition",
+    "Program",
+    "parse_program",
+    "parse_term",
+    "parse_type",
+    "Operation",
+    "Signature",
+    "standard_signature",
+    "is_subtype",
+    "join",
+    "meet",
+    "check_judgment",
+    "derivable",
+]

@@ -1,0 +1,575 @@
+"""Term syntax for Λnum (Fig. 1 of the paper).
+
+The language is a fine-grained call-by-value λ-calculus: term constructors and
+eliminators are restricted to *values*, and all computations are sequenced
+explicitly with ``let``.  The surface-syntax parser (``repro.core.parser``)
+performs the let-insertion needed to write ordinary nested expressions.
+
+Values::
+
+    v, w ::= x | <> | k ∈ R | ⟨v, w⟩ | (v, w) | inl v | inr v
+           | λx.e | [v] | rnd v | ret v | let-bind(rnd v, x. f)
+
+Terms::
+
+    e, f ::= v | v w | π_i v | let (x, y) = v in e
+           | case v of (inl x. e | inr x. f)
+           | let [x] = v in e | let-bind(v, x. f) | let x = e in f | op(v)
+
+The ``Err`` value belongs to the exceptional extension of Section 7.1 and is
+only produced by the floating-point semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Iterator, Optional, Set, Tuple, Union
+
+from .grades import Grade, GradeLike, as_grade
+from .types import Type, UNIT
+
+__all__ = [
+    "Term",
+    "Var",
+    "UnitVal",
+    "Const",
+    "WithPair",
+    "TensorPair",
+    "Inl",
+    "Inr",
+    "Lambda",
+    "Box",
+    "Rnd",
+    "Ret",
+    "Err",
+    "App",
+    "Proj",
+    "LetTensor",
+    "Case",
+    "LetBox",
+    "LetBind",
+    "Let",
+    "Op",
+    "is_value",
+    "free_variables",
+    "substitute",
+    "fresh_name",
+    "term_size",
+    "count_rounds",
+    "pretty",
+    "true_value",
+    "false_value",
+    "const",
+]
+
+NumberLike = Union[int, float, Fraction, str]
+
+
+class Term:
+    """Base class of every Λnum term node."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Term", ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return pretty(self)
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+class Var(Term):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class UnitVal(Term):
+    __slots__ = ()
+
+
+class Const(Term):
+    """A numeric constant ``k ∈ R``, stored as an exact :class:`Fraction`."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: NumberLike) -> None:
+        self.value = Fraction(value)
+
+
+class WithPair(Term):
+    """The Cartesian pair ``⟨v, w⟩`` of the with-product ``×`` (max metric)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term, right: Term) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+
+class TensorPair(Term):
+    """The monoidal pair ``(v, w)`` of the tensor product ``⊗`` (sum metric)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term, right: Term) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.left, self.right)
+
+
+class Inl(Term):
+    __slots__ = ("value", "other_type")
+
+    def __init__(self, value: Term, other_type: Type = UNIT) -> None:
+        self.value = value
+        #: Type of the *right* branch, needed to give ``inl v`` a sum type
+        #: during inference.  Defaults to ``unit`` (the boolean encoding).
+        self.other_type = other_type
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+class Inr(Term):
+    __slots__ = ("value", "other_type")
+
+    def __init__(self, value: Term, other_type: Type = UNIT) -> None:
+        self.value = value
+        #: Type of the *left* branch.
+        self.other_type = other_type
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+class Lambda(Term):
+    """``λ(x : σ). e`` — the annotation is required by the inference algorithm."""
+
+    __slots__ = ("parameter", "parameter_type", "body")
+
+    def __init__(self, parameter: str, parameter_type: Type, body: Term) -> None:
+        self.parameter = parameter
+        self.parameter_type = parameter_type
+        self.body = body
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.body,)
+
+
+class Box(Term):
+    """``[v]{s}`` — introduces the metric-scaled type ``!_s σ``."""
+
+    __slots__ = ("value", "scale")
+
+    def __init__(self, value: Term, scale: GradeLike = 1) -> None:
+        self.value = value
+        self.scale: Grade = as_grade(scale)
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+class Rnd(Term):
+    """``rnd v`` — the effectful rounding of a numeric value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Term) -> None:
+        self.value = value
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+class Ret(Term):
+    """``ret v`` — lifts a pure value into the monad with zero error."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Term) -> None:
+        self.value = value
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+class Err(Term):
+    """The exceptional value of the Section 7.1 extension (FP semantics only)."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Computations
+# ---------------------------------------------------------------------------
+
+
+class App(Term):
+    __slots__ = ("function", "argument")
+
+    def __init__(self, function: Term, argument: Term) -> None:
+        self.function = function
+        self.argument = argument
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.function, self.argument)
+
+
+class Proj(Term):
+    """``π_i v`` for the with-product; ``index`` is 1 or 2."""
+
+    __slots__ = ("index", "value")
+
+    def __init__(self, index: int, value: Term) -> None:
+        if index not in (1, 2):
+            raise ValueError("projection index must be 1 or 2")
+        self.index = index
+        self.value = value
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+class LetTensor(Term):
+    """``let (x, y) = v in e``."""
+
+    __slots__ = ("left_var", "right_var", "value", "body")
+
+    def __init__(self, left_var: str, right_var: str, value: Term, body: Term) -> None:
+        self.left_var = left_var
+        self.right_var = right_var
+        self.value = value
+        self.body = body
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value, self.body)
+
+
+class Case(Term):
+    """``case v of (inl x. e | inr y. f)``."""
+
+    __slots__ = ("scrutinee", "left_var", "left_body", "right_var", "right_body")
+
+    def __init__(
+        self,
+        scrutinee: Term,
+        left_var: str,
+        left_body: Term,
+        right_var: str,
+        right_body: Term,
+    ) -> None:
+        self.scrutinee = scrutinee
+        self.left_var = left_var
+        self.left_body = left_body
+        self.right_var = right_var
+        self.right_body = right_body
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.scrutinee, self.left_body, self.right_body)
+
+
+class LetBox(Term):
+    """``let [x] = v in e``."""
+
+    __slots__ = ("variable", "value", "body")
+
+    def __init__(self, variable: str, value: Term, body: Term) -> None:
+        self.variable = variable
+        self.value = value
+        self.body = body
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value, self.body)
+
+
+class LetBind(Term):
+    """``let-bind(v, x. f)`` — sequencing of monadic computations."""
+
+    __slots__ = ("variable", "value", "body")
+
+    def __init__(self, variable: str, value: Term, body: Term) -> None:
+        self.variable = variable
+        self.value = value
+        self.body = body
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value, self.body)
+
+
+class Let(Term):
+    """``let x = e in f`` — sequencing of ordinary computations."""
+
+    __slots__ = ("variable", "bound", "body")
+
+    def __init__(self, variable: str, bound: Term, body: Term) -> None:
+        self.variable = variable
+        self.bound = bound
+        self.body = body
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.bound, self.body)
+
+
+class Op(Term):
+    """``op(v)`` — application of a primitive operation from the signature Σ."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Term) -> None:
+        self.name = name
+        self.value = value
+
+    def children(self) -> Tuple[Term, ...]:
+        return (self.value,)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def const(value: NumberLike) -> Const:
+    """Convenience constructor for numeric constants."""
+    return Const(value)
+
+
+def true_value() -> Inl:
+    """The boolean ``true`` encoded as ``inl <> : unit + unit``."""
+    return Inl(UnitVal(), UNIT)
+
+
+def false_value() -> Inr:
+    """The boolean ``false`` encoded as ``inr <> : unit + unit``."""
+    return Inr(UnitVal(), UNIT)
+
+
+def is_value(term: Term) -> bool:
+    """Is ``term`` a syntactic value according to Fig. 1?"""
+    if isinstance(term, (Var, UnitVal, Const, Lambda, Err)):
+        return True
+    if isinstance(term, (WithPair, TensorPair)):
+        return is_value(term.left) and is_value(term.right)
+    if isinstance(term, (Inl, Inr, Box, Rnd, Ret)):
+        return is_value(term.value)
+    if isinstance(term, LetBind):
+        # let-bind(rnd v, x. f) is a value (Fig. 1).
+        return isinstance(term.value, Rnd) and is_value(term.value.value)
+    return False
+
+
+def free_variables(term: Term) -> Set[str]:
+    if isinstance(term, Var):
+        return {term.name}
+    if isinstance(term, (UnitVal, Const, Err)):
+        return set()
+    if isinstance(term, (WithPair, TensorPair)):
+        return free_variables(term.left) | free_variables(term.right)
+    if isinstance(term, (Inl, Inr, Box, Rnd, Ret)):
+        return free_variables(term.value)
+    if isinstance(term, Lambda):
+        return free_variables(term.body) - {term.parameter}
+    if isinstance(term, App):
+        return free_variables(term.function) | free_variables(term.argument)
+    if isinstance(term, Proj):
+        return free_variables(term.value)
+    if isinstance(term, LetTensor):
+        return free_variables(term.value) | (
+            free_variables(term.body) - {term.left_var, term.right_var}
+        )
+    if isinstance(term, Case):
+        return (
+            free_variables(term.scrutinee)
+            | (free_variables(term.left_body) - {term.left_var})
+            | (free_variables(term.right_body) - {term.right_var})
+        )
+    if isinstance(term, (LetBox, LetBind)):
+        return free_variables(term.value) | (free_variables(term.body) - {term.variable})
+    if isinstance(term, Let):
+        return free_variables(term.bound) | (free_variables(term.body) - {term.variable})
+    if isinstance(term, Op):
+        return free_variables(term.value)
+    raise TypeError(f"unknown term node {type(term).__name__}")
+
+
+_FRESH_COUNTER = itertools.count()
+
+
+def fresh_name(hint: str = "x", avoid: Optional[Set[str]] = None) -> str:
+    """A variable name not occurring in ``avoid``."""
+    avoid = avoid or set()
+    base = hint.rstrip("0123456789") or "x"
+    while True:
+        candidate = f"{base}%{next(_FRESH_COUNTER)}"
+        if candidate not in avoid:
+            return candidate
+
+
+def substitute(term: Term, mapping: Dict[str, Term]) -> Term:
+    """Capture-avoiding simultaneous substitution of terms for variables."""
+    if not mapping:
+        return term
+    return _subst(term, dict(mapping))
+
+
+def _subst(term: Term, mapping: Dict[str, Term]) -> Term:
+    if isinstance(term, Var):
+        return mapping.get(term.name, term)
+    if isinstance(term, (UnitVal, Const, Err)):
+        return term
+    if isinstance(term, WithPair):
+        return WithPair(_subst(term.left, mapping), _subst(term.right, mapping))
+    if isinstance(term, TensorPair):
+        return TensorPair(_subst(term.left, mapping), _subst(term.right, mapping))
+    if isinstance(term, Inl):
+        return Inl(_subst(term.value, mapping), term.other_type)
+    if isinstance(term, Inr):
+        return Inr(_subst(term.value, mapping), term.other_type)
+    if isinstance(term, Box):
+        return Box(_subst(term.value, mapping), term.scale)
+    if isinstance(term, Rnd):
+        return Rnd(_subst(term.value, mapping))
+    if isinstance(term, Ret):
+        return Ret(_subst(term.value, mapping))
+    if isinstance(term, Lambda):
+        binder, body, mapping2 = _freshen_binder(term.parameter, term.body, mapping)
+        return Lambda(binder, term.parameter_type, _subst(body, mapping2))
+    if isinstance(term, App):
+        return App(_subst(term.function, mapping), _subst(term.argument, mapping))
+    if isinstance(term, Proj):
+        return Proj(term.index, _subst(term.value, mapping))
+    if isinstance(term, LetTensor):
+        value = _subst(term.value, mapping)
+        left, body, mapping2 = _freshen_binder(term.left_var, term.body, mapping)
+        right, body, mapping2 = _freshen_binder(term.right_var, body, mapping2)
+        return LetTensor(left, right, value, _subst(body, mapping2))
+    if isinstance(term, Case):
+        scrutinee = _subst(term.scrutinee, mapping)
+        lvar, lbody, lmap = _freshen_binder(term.left_var, term.left_body, mapping)
+        rvar, rbody, rmap = _freshen_binder(term.right_var, term.right_body, mapping)
+        return Case(scrutinee, lvar, _subst(lbody, lmap), rvar, _subst(rbody, rmap))
+    if isinstance(term, LetBox):
+        value = _subst(term.value, mapping)
+        var, body, mapping2 = _freshen_binder(term.variable, term.body, mapping)
+        return LetBox(var, value, _subst(body, mapping2))
+    if isinstance(term, LetBind):
+        value = _subst(term.value, mapping)
+        var, body, mapping2 = _freshen_binder(term.variable, term.body, mapping)
+        return LetBind(var, value, _subst(body, mapping2))
+    if isinstance(term, Let):
+        bound = _subst(term.bound, mapping)
+        var, body, mapping2 = _freshen_binder(term.variable, term.body, mapping)
+        return Let(var, bound, _subst(body, mapping2))
+    if isinstance(term, Op):
+        return Op(term.name, _subst(term.value, mapping))
+    raise TypeError(f"unknown term node {type(term).__name__}")
+
+
+def _freshen_binder(binder: str, body: Term, mapping: Dict[str, Term]):
+    """Drop the binder from the substitution; rename it if capture threatens."""
+    mapping = {name: value for name, value in mapping.items() if name != binder}
+    if not mapping:
+        return binder, body, mapping
+    captured = set()
+    for value in mapping.values():
+        captured |= free_variables(value)
+    if binder in captured:
+        new_name = fresh_name(binder, captured | free_variables(body) | set(mapping))
+        body = _subst(body, {binder: Var(new_name)})
+        return new_name, body, mapping
+    return binder, body, mapping
+
+
+def term_size(term: Term) -> int:
+    """Number of AST nodes (used for scaling experiments)."""
+    return sum(1 for _ in iter_nodes(term))
+
+
+def iter_nodes(term: Term) -> Iterator[Term]:
+    """Depth-first iterator over every node of the term."""
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+
+
+def count_rounds(term: Term) -> int:
+    """Number of ``rnd`` operations in the term (the paper's "Ops" proxy)."""
+    return sum(1 for node in iter_nodes(term) if isinstance(node, Rnd))
+
+
+def count_operations(term: Term) -> int:
+    """Number of primitive-operation applications ``op(v)`` in the term."""
+    return sum(1 for node in iter_nodes(term) if isinstance(node, Op))
+
+
+# ---------------------------------------------------------------------------
+# Pretty printing
+# ---------------------------------------------------------------------------
+
+
+def pretty(term: Term) -> str:
+    """Render a term in a compact, paper-like concrete syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, UnitVal):
+        return "<>"
+    if isinstance(term, Const):
+        value = term.value
+        if value.denominator == 1:
+            return str(value.numerator)
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(term, Err):
+        return "err"
+    if isinstance(term, WithPair):
+        return f"(|{pretty(term.left)}, {pretty(term.right)}|)"
+    if isinstance(term, TensorPair):
+        return f"({pretty(term.left)}, {pretty(term.right)})"
+    if isinstance(term, Inl):
+        return f"inl {pretty(term.value)}"
+    if isinstance(term, Inr):
+        return f"inr {pretty(term.value)}"
+    if isinstance(term, Lambda):
+        return f"\\({term.parameter}: {term.parameter_type}). {pretty(term.body)}"
+    if isinstance(term, Box):
+        return f"[{pretty(term.value)}]{{{term.scale}}}"
+    if isinstance(term, Rnd):
+        return f"rnd {pretty(term.value)}"
+    if isinstance(term, Ret):
+        return f"ret {pretty(term.value)}"
+    if isinstance(term, App):
+        return f"({pretty(term.function)} {pretty(term.argument)})"
+    if isinstance(term, Proj):
+        return f"pi{term.index} {pretty(term.value)}"
+    if isinstance(term, LetTensor):
+        return (
+            f"let ({term.left_var}, {term.right_var}) = {pretty(term.value)} in "
+            f"{pretty(term.body)}"
+        )
+    if isinstance(term, Case):
+        return (
+            f"case {pretty(term.scrutinee)} of "
+            f"(inl {term.left_var}. {pretty(term.left_body)} | "
+            f"inr {term.right_var}. {pretty(term.right_body)})"
+        )
+    if isinstance(term, LetBox):
+        return f"let [{term.variable}] = {pretty(term.value)} in {pretty(term.body)}"
+    if isinstance(term, LetBind):
+        return f"let-bind({pretty(term.value)}, {term.variable}. {pretty(term.body)})"
+    if isinstance(term, Let):
+        return f"let {term.variable} = {pretty(term.bound)} in {pretty(term.body)}"
+    if isinstance(term, Op):
+        return f"{term.name}({pretty(term.value)})"
+    raise TypeError(f"unknown term node {type(term).__name__}")

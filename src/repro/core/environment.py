@@ -1,0 +1,192 @@
+"""Typing environments (contexts) for Λnum.
+
+A context ``Γ`` maps variable names to a pair of a type and a sensitivity
+(:class:`~repro.core.grades.Grade`).  Besides lookup, contexts support the
+operations used by the typing rules of Fig. 2 and the algorithmic rules of
+Fig. 10:
+
+* ``Γ + Δ``   — pointwise *sum* of sensitivities (Definition 3.1 requires the
+  contexts to be *summable*: shared variables must have identical types);
+* ``s * Γ``   — scaling of every sensitivity by a grade;
+* ``max(Γ, Δ)`` — pointwise maximum (used for the with-product and case rules
+  of the algorithm);
+* the sub-environment order ``Δ ⊑ Γ`` of Definition 3.2.
+
+A *skeleton* ``Γ•`` (Definition 6.1) is a plain mapping from variables to
+types with no sensitivity information; :meth:`Context.zeros` builds the
+all-zero context over a skeleton.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from .errors import TypeCheckError
+from .grades import Grade, GradeLike, ZERO, as_grade
+from .types import Type
+
+__all__ = ["Context", "Skeleton"]
+
+Skeleton = Mapping[str, Type]
+
+
+class Context:
+    """An immutable typing environment ``x_1 :_{s_1} σ_1, …, x_n :_{s_n} σ_n``."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[str, Tuple[Type, Grade]] | None = None) -> None:
+        data: Dict[str, Tuple[Type, Grade]] = {}
+        if bindings:
+            for name, (tau, sens) in bindings.items():
+                data[name] = (tau, as_grade(sens))
+        self._bindings = data
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "Context":
+        return Context()
+
+    @staticmethod
+    def single(name: str, tau: Type, sensitivity: GradeLike = 1) -> "Context":
+        return Context({name: (tau, as_grade(sensitivity))})
+
+    @staticmethod
+    def zeros(skeleton: Skeleton) -> "Context":
+        """The context ``Γ0`` assigning sensitivity zero to every skeleton variable."""
+        return Context({name: (tau, ZERO) for name, tau in skeleton.items()})
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[Tuple[str, Type, GradeLike]]) -> "Context":
+        return Context({name: (tau, as_grade(s)) for name, tau, s in pairs})
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self._bindings)
+
+    def type_of(self, name: str) -> Type:
+        return self._bindings[name][0]
+
+    def sensitivity_of(self, name: str) -> Grade:
+        if name not in self._bindings:
+            return ZERO
+        return self._bindings[name][1]
+
+    def items(self):
+        return self._bindings.items()
+
+    def as_dict(self) -> Dict[str, Tuple[Type, Grade]]:
+        return dict(self._bindings)
+
+    def skeleton(self) -> Dict[str, Type]:
+        """Forget the sensitivities (the ``Γ̄`` of Definition 6.1)."""
+        return {name: tau for name, (tau, _) in self._bindings.items()}
+
+    # -- structural operations ----------------------------------------------
+
+    def bind(self, name: str, tau: Type, sensitivity: GradeLike = 1) -> "Context":
+        data = dict(self._bindings)
+        data[name] = (tau, as_grade(sensitivity))
+        return Context(data)
+
+    def remove(self, *names: str) -> "Context":
+        data = {k: v for k, v in self._bindings.items() if k not in names}
+        return Context(data)
+
+    def restrict(self, names: Iterable[str]) -> "Context":
+        keep = set(names)
+        return Context({k: v for k, v in self._bindings.items() if k in keep})
+
+    # -- semiring operations -------------------------------------------------
+
+    def summable_with(self, other: "Context") -> bool:
+        """Definition 3.1: shared variables must carry identical types."""
+        for name, (tau, _) in self._bindings.items():
+            if name in other._bindings and other._bindings[name][0] != tau:
+                return False
+        return True
+
+    def __add__(self, other: "Context") -> "Context":
+        if not isinstance(other, Context):
+            return NotImplemented
+        if not self.summable_with(other):
+            raise TypeCheckError(
+                "contexts are not summable: a shared variable has two different types"
+            )
+        data: Dict[str, Tuple[Type, Grade]] = dict(self._bindings)
+        for name, (tau, sens) in other._bindings.items():
+            if name in data:
+                data[name] = (tau, data[name][1] + sens)
+            else:
+                data[name] = (tau, sens)
+        return Context(data)
+
+    def scale(self, factor: GradeLike) -> "Context":
+        factor = as_grade(factor)
+        return Context(
+            {name: (tau, factor * sens) for name, (tau, sens) in self._bindings.items()}
+        )
+
+    def __rmul__(self, factor: GradeLike) -> "Context":
+        return self.scale(factor)
+
+    def max_with(self, other: "Context") -> "Context":
+        """Pointwise maximum of sensitivities (types must agree on shared vars)."""
+        if not self.summable_with(other):
+            raise TypeCheckError(
+                "contexts cannot be joined: a shared variable has two different types"
+            )
+        data: Dict[str, Tuple[Type, Grade]] = dict(self._bindings)
+        for name, (tau, sens) in other._bindings.items():
+            if name in data:
+                data[name] = (tau, data[name][1].max(sens))
+            else:
+                data[name] = (tau, sens)
+        return Context(data)
+
+    # -- ordering -------------------------------------------------------------
+
+    def is_subenvironment_of(self, other: "Context") -> bool:
+        """Definition 3.2: every binding here appears in ``other`` with ≥ sensitivity."""
+        for name, (tau, sens) in self._bindings.items():
+            if sens.is_zero and name not in other._bindings:
+                # A zero-sensitivity binding imposes no requirement.
+                continue
+            if name not in other._bindings:
+                return False
+            other_tau, other_sens = other._bindings[name]
+            if other_tau != tau or not (other_sens >= sens):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Context):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    # -- display --------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self._bindings:
+            return "·"
+        parts = [
+            f"{name} :{sens} {tau}" for name, (tau, sens) in sorted(self._bindings.items())
+        ]
+        return ", ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"Context({self})"

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the Λnum implementation."""
+
+from __future__ import annotations
+
+__all__ = [
+    "LnumError",
+    "ParseError",
+    "TypeJoinError",
+    "TypeInferenceError",
+    "TypeCheckError",
+    "SignatureError",
+    "EvaluationError",
+    "FloatingPointExceptionError",
+]
+
+
+class LnumError(Exception):
+    """Base class for every error raised by the Λnum implementation."""
+
+
+class ParseError(LnumError):
+    """Raised by the surface-syntax and FPCore parsers.
+
+    Carries an optional (line, column) pair for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class TypeJoinError(LnumError):
+    """Raised when the max/min (super/sub-type) of two types does not exist."""
+
+
+class TypeInferenceError(LnumError):
+    """Raised when the sensitivity-inference algorithm (Fig. 10) fails."""
+
+
+class TypeCheckError(LnumError):
+    """Raised when a declarative typing derivation (Fig. 2) cannot be built."""
+
+
+class SignatureError(LnumError):
+    """Raised for problems with the primitive-operation signature Σ."""
+
+
+class EvaluationError(LnumError):
+    """Raised by the operational semantics / evaluators on stuck terms."""
+
+
+class FloatingPointExceptionError(EvaluationError):
+    """Raised when the FP semantics hits an exceptional value (overflow,
+    underflow to zero, domain error) and the exceptional extension is not in
+    use."""

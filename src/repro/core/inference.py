@@ -1,0 +1,328 @@
+"""The bottom-up sensitivity-inference algorithm (Fig. 10 of the paper).
+
+Given a *skeleton* environment ``Γ•`` (variables with types but no
+sensitivities) and a term ``e``, the algorithm computes a context ``Γ`` with
+sensitivity annotations and a type ``σ`` such that ``Γ ⊢ e : σ`` is derivable
+(Theorem 6.3, algorithmic soundness).  The computed sensitivities and error
+grades are the *minimal* ones; comparisons against user annotations happen by
+subtyping.
+
+Following Azevedo de Amorim et al. (2014), the algorithm works bottom-up so
+the environment never has to be split: each sub-term reports the minimal
+context it needs and the rules combine contexts with ``+``, ``max`` and
+scaling.  Contexts are kept *sparse* — variables not mentioned have
+sensitivity zero — which keeps inference linear in the size of the term even
+for programs with hundreds of thousands of operations (Table 4).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Tuple
+
+from . import ast as A
+from . import types as T
+from .environment import Context
+from .errors import TypeInferenceError
+from .grades import EPS, Grade, GradeLike, ONE, ZERO, as_grade
+from .signature import Signature, standard_signature
+from .subtyping import is_subtype, join
+
+__all__ = ["InferenceConfig", "InferenceResult", "infer", "infer_type", "check_term"]
+
+#: Recursion headroom for deeply sequenced benchmark programs (SerialSum etc.).
+_MIN_RECURSION_LIMIT = 20_000
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Parameters of the instantiation used during inference.
+
+    ``rnd_grade`` is the error grade ``q`` assigned by the (Rnd) rule — the
+    unit roundoff of the chosen format/rounding mode, kept symbolic as the
+    grade ``eps`` by default.  ``case_guard_sensitivity`` is the positive
+    sensitivity substituted for a zero guard sensitivity in the (+E) rule (the
+    paper's "ε otherwise"); any positive value is sound, and the dependence on
+    the guard must be retained for soundness (Section 8).
+    """
+
+    signature: Signature = field(default_factory=standard_signature)
+    rnd_grade: Grade = EPS
+    case_guard_sensitivity: Grade = EPS
+    allow_unused_let: bool = True
+
+    def with_rnd_grade(self, grade: GradeLike) -> "InferenceConfig":
+        return replace(self, rnd_grade=as_grade(grade))
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """The context and type computed for a term."""
+
+    context: Context
+    type: T.Type
+
+    def sensitivity_of(self, name: str) -> Grade:
+        return self.context.sensitivity_of(name)
+
+    @property
+    def error_grade(self) -> Optional[Grade]:
+        """The rounding-error grade when the result type is monadic."""
+        if isinstance(self.type, T.Monadic):
+            return self.type.grade
+        return None
+
+
+def infer(
+    term: A.Term,
+    skeleton: Mapping[str, T.Type] | None = None,
+    config: InferenceConfig | None = None,
+) -> InferenceResult:
+    """Run sensitivity inference on ``term`` under the skeleton ``Γ•``."""
+    config = config or InferenceConfig()
+    skeleton = dict(skeleton or {})
+    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+    engine = _Inference(config)
+    context, tau = engine.infer(term, skeleton)
+    return InferenceResult(context, tau)
+
+
+def infer_type(
+    term: A.Term,
+    skeleton: Mapping[str, T.Type] | None = None,
+    config: InferenceConfig | None = None,
+) -> T.Type:
+    """Convenience wrapper returning only the inferred type."""
+    return infer(term, skeleton, config).type
+
+
+def check_term(
+    term: A.Term,
+    expected: T.Type,
+    skeleton: Mapping[str, T.Type] | None = None,
+    config: InferenceConfig | None = None,
+) -> InferenceResult:
+    """Infer a type for ``term`` and check it against ``expected`` by subtyping."""
+    result = infer(term, skeleton, config)
+    if not is_subtype(result.type, expected):
+        raise TypeInferenceError(
+            f"inferred type {result.type} is not a subtype of the annotation {expected}"
+        )
+    return result
+
+
+class _Inference:
+    """The recursive engine implementing the rules of Fig. 10."""
+
+    def __init__(self, config: InferenceConfig) -> None:
+        self.config = config
+        self.signature = config.signature
+
+    # -- entry point --------------------------------------------------------
+
+    def infer(self, term: A.Term, skeleton: Dict[str, T.Type]) -> Tuple[Context, T.Type]:
+        method = getattr(self, f"_infer_{type(term).__name__}", None)
+        if method is None:
+            raise TypeInferenceError(f"no inference rule for term node {type(term).__name__}")
+        return method(term, skeleton)
+
+    # -- values -------------------------------------------------------------
+
+    def _infer_Var(self, term: A.Var, skeleton: Dict[str, T.Type]):
+        if term.name not in skeleton:
+            raise TypeInferenceError(f"unbound variable {term.name!r}")
+        tau = skeleton[term.name]
+        return Context.single(term.name, tau, ONE), tau
+
+    def _infer_UnitVal(self, term: A.UnitVal, skeleton):
+        return Context.empty(), T.UNIT
+
+    def _infer_Const(self, term: A.Const, skeleton):
+        return Context.empty(), T.NUM
+
+    def _infer_WithPair(self, term: A.WithPair, skeleton):
+        left_ctx, left_ty = self.infer(term.left, skeleton)
+        right_ctx, right_ty = self.infer(term.right, skeleton)
+        return left_ctx.max_with(right_ctx), T.WithProduct(left_ty, right_ty)
+
+    def _infer_TensorPair(self, term: A.TensorPair, skeleton):
+        left_ctx, left_ty = self.infer(term.left, skeleton)
+        right_ctx, right_ty = self.infer(term.right, skeleton)
+        return left_ctx + right_ctx, T.TensorProduct(left_ty, right_ty)
+
+    def _infer_Inl(self, term: A.Inl, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        return ctx, T.SumType(tau, term.other_type)
+
+    def _infer_Inr(self, term: A.Inr, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        return ctx, T.SumType(term.other_type, tau)
+
+    def _infer_Lambda(self, term: A.Lambda, skeleton):
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.parameter] = term.parameter_type
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        sensitivity = body_ctx.sensitivity_of(term.parameter)
+        if not (sensitivity <= ONE):
+            raise TypeInferenceError(
+                f"lambda body is {sensitivity}-sensitive in {term.parameter!r}; a plain "
+                f"function type permits sensitivity at most 1 — wrap the argument type "
+                f"in ![{sensitivity}] and eliminate it with `let [..] = ..`"
+            )
+        return body_ctx.remove(term.parameter), T.Arrow(term.parameter_type, body_ty)
+
+    def _infer_Box(self, term: A.Box, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        return ctx.scale(term.scale), T.Bang(term.scale, tau)
+
+    def _infer_Rnd(self, term: A.Rnd, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        if not isinstance(tau, T.Num):
+            raise TypeInferenceError(f"rnd expects a numeric argument, got {tau}")
+        return ctx, T.Monadic(self.config.rnd_grade, T.NUM)
+
+    def _infer_Ret(self, term: A.Ret, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        return ctx, T.Monadic(ZERO, tau)
+
+    def _infer_Err(self, term: A.Err, skeleton):
+        # err : M_u τ for any u, τ (Section 7.1); infer the least grade and a
+        # numeric payload, callers may loosen by subsumption.
+        return Context.empty(), T.Monadic(ZERO, T.NUM)
+
+    # -- computations -------------------------------------------------------
+
+    def _infer_App(self, term: A.App, skeleton):
+        fun_ctx, fun_ty = self.infer(term.function, skeleton)
+        arg_ctx, arg_ty = self.infer(term.argument, skeleton)
+        if not isinstance(fun_ty, T.Arrow):
+            raise TypeInferenceError(f"application of a non-function value of type {fun_ty}")
+        if not is_subtype(arg_ty, fun_ty.argument):
+            raise TypeInferenceError(
+                f"argument type {arg_ty} is not a subtype of the expected {fun_ty.argument}"
+            )
+        return fun_ctx + arg_ctx, fun_ty.result
+
+    def _infer_Proj(self, term: A.Proj, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        if not isinstance(tau, T.WithProduct):
+            raise TypeInferenceError(f"projection expects a with-product, got {tau}")
+        return ctx, tau.left if term.index == 1 else tau.right
+
+    def _infer_LetTensor(self, term: A.LetTensor, skeleton):
+        value_ctx, value_ty = self.infer(term.value, skeleton)
+        if not isinstance(value_ty, T.TensorProduct):
+            raise TypeInferenceError(f"let (x, y) = ... expects a tensor product, got {value_ty}")
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.left_var] = value_ty.left
+        inner_skeleton[term.right_var] = value_ty.right
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        s_left = body_ctx.sensitivity_of(term.left_var)
+        s_right = body_ctx.sensitivity_of(term.right_var)
+        scale = s_left.max(s_right)
+        residual = body_ctx.remove(term.left_var, term.right_var)
+        return residual + value_ctx.scale(scale), body_ty
+
+    def _infer_Case(self, term: A.Case, skeleton):
+        scrutinee_ctx, scrutinee_ty = self.infer(term.scrutinee, skeleton)
+        if not isinstance(scrutinee_ty, T.SumType):
+            raise TypeInferenceError(f"case expects a sum type, got {scrutinee_ty}")
+        left_skeleton = dict(skeleton)
+        left_skeleton[term.left_var] = scrutinee_ty.left
+        left_ctx, left_ty = self.infer(term.left_body, left_skeleton)
+        right_skeleton = dict(skeleton)
+        right_skeleton[term.right_var] = scrutinee_ty.right
+        right_ctx, right_ty = self.infer(term.right_body, right_skeleton)
+
+        s_left = left_ctx.sensitivity_of(term.left_var)
+        s_right = right_ctx.sensitivity_of(term.right_var)
+        guard_sensitivity = s_left.max(s_right)
+        if guard_sensitivity.is_zero:
+            # The (+E) rule requires a strictly positive guard sensitivity to
+            # retain the dependence on the scrutinee (Fig. 10, "ε otherwise").
+            guard_sensitivity = self.config.case_guard_sensitivity
+        residual = left_ctx.remove(term.left_var).max_with(right_ctx.remove(term.right_var))
+        result_type = join(left_ty, right_ty)
+        return residual + scrutinee_ctx.scale(guard_sensitivity), result_type
+
+    def _infer_LetBox(self, term: A.LetBox, skeleton):
+        value_ctx, value_ty = self.infer(term.value, skeleton)
+        if not isinstance(value_ty, T.Bang):
+            raise TypeInferenceError(f"let [x] = ... expects a !-type, got {value_ty}")
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.variable] = value_ty.inner
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        needed = body_ctx.sensitivity_of(term.variable)
+        scale = _divide_sensitivity(needed, value_ty.sensitivity, term.variable)
+        residual = body_ctx.remove(term.variable)
+        return residual + value_ctx.scale(scale), body_ty
+
+    def _infer_LetBind(self, term: A.LetBind, skeleton):
+        value_ctx, value_ty = self.infer(term.value, skeleton)
+        if not isinstance(value_ty, T.Monadic):
+            raise TypeInferenceError(
+                f"let-bind expects a monadic value on the right of '=', got {value_ty}"
+            )
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.variable] = value_ty.inner
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        if not isinstance(body_ty, T.Monadic):
+            raise TypeInferenceError(
+                f"the body of a monadic let-bind must have monadic type, got {body_ty}"
+            )
+        sensitivity = body_ctx.sensitivity_of(term.variable)
+        grade = sensitivity * value_ty.grade + body_ty.grade
+        residual = body_ctx.remove(term.variable)
+        context = residual + value_ctx.scale(sensitivity)
+        return context, T.Monadic(grade, body_ty.inner)
+
+    def _infer_Let(self, term: A.Let, skeleton):
+        bound_ctx, bound_ty = self.infer(term.bound, skeleton)
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.variable] = bound_ty
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        sensitivity = body_ctx.sensitivity_of(term.variable)
+        if sensitivity.is_zero and not self.config.allow_unused_let:
+            raise TypeInferenceError(
+                f"let-bound variable {term.variable!r} is unused and the configuration "
+                f"forbids zero-sensitivity lets (Fig. 2 requires s > 0)"
+            )
+        residual = body_ctx.remove(term.variable)
+        return residual + bound_ctx.scale(sensitivity), body_ty
+
+    def _infer_Op(self, term: A.Op, skeleton):
+        operation = self.signature.lookup(term.name)
+        ctx, tau = self.infer(term.value, skeleton)
+        if not is_subtype(tau, operation.input_type):
+            raise TypeInferenceError(
+                f"operation {term.name!r} expects an argument of type "
+                f"{operation.input_type}, got {tau}"
+            )
+        return ctx, operation.result_type
+
+
+def _divide_sensitivity(needed: Grade, declared: Grade, variable: str) -> Grade:
+    """The least ``t`` with ``t * declared >= needed`` (the (!E) scaling factor)."""
+    if needed.is_zero:
+        return ZERO
+    if declared.is_zero:
+        raise TypeInferenceError(
+            f"variable {variable!r} is boxed at sensitivity 0 but the body uses it "
+            f"with sensitivity {needed}"
+        )
+    if declared.is_infinite:
+        # Any positive t covers a finite demand; an infinite demand needs t >= 1.
+        return ONE
+    if needed.is_infinite:
+        return Grade.infinite()
+    if not declared.is_constant:
+        # Dividing by a symbolic grade is not supported (and never needed for
+        # the standard instantiation, where box scales are rational constants).
+        raise TypeInferenceError(
+            f"cannot divide sensitivity {needed} by the symbolic box scale {declared}"
+        )
+    factor = Fraction(1) / declared.evaluate()
+    return needed * Grade.constant(factor)

@@ -1,0 +1,14 @@
+"""Surface-syntax parser for Λnum."""
+
+from .lexer import Token, tokenize
+from .parser import Definition, Program, parse_program, parse_term, parse_type
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "Definition",
+    "Program",
+    "parse_program",
+    "parse_term",
+    "parse_type",
+]

@@ -1,0 +1,135 @@
+"""Lexer for the Λnum surface syntax (the implementation syntax of Section 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "function",
+    "let",
+    "in",
+    "rnd",
+    "ret",
+    "if",
+    "then",
+    "else",
+    "case",
+    "of",
+    "inl",
+    "inr",
+    "true",
+    "false",
+    "err",
+    "num",
+    "unit",
+    "bool",
+}
+
+#: Multi-character punctuation, longest first so the lexer is greedy.
+_MULTI_PUNCT = ["(|", "|)", "-o", "<>", "=>"]
+_SINGLE_PUNCT = "(){}[]<>,;:=+*./|!"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # "ident", "keyword", "number", "punct", "eof"
+    text: str
+    line: int
+    column: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == "punct" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == "keyword" and self.text == text
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize a surface-syntax program; raises :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, column
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+
+    while i < length:
+        ch = source[i]
+        # Whitespace.
+        if ch.isspace():
+            advance(ch)
+            i += 1
+            continue
+        # Comments: '#' or '//' to end of line.
+        if ch == "#" or source.startswith("//", i):
+            end = source.find("\n", i)
+            if end == -1:
+                end = length
+            advance(source[i:end])
+            i = end
+            continue
+        # Multi-character punctuation.
+        matched = None
+        for punct in _MULTI_PUNCT:
+            if source.startswith(punct, i):
+                matched = punct
+                break
+        if matched is not None:
+            tokens.append(Token("punct", matched, line, column))
+            advance(matched)
+            i += len(matched)
+            continue
+        # Numbers (integers, decimals, scientific notation).
+        if ch.isdigit() or (ch == "." and i + 1 < length and source[i + 1].isdigit()):
+            j = i
+            seen_exponent = False
+            while j < length:
+                cj = source[j]
+                if cj.isdigit() or cj == ".":
+                    j += 1
+                elif cj in "eE" and not seen_exponent and j + 1 < length and (
+                    source[j + 1].isdigit() or source[j + 1] in "+-"
+                ):
+                    seen_exponent = True
+                    j += 2 if source[j + 1] in "+-" else 1
+                else:
+                    break
+            text = source[i:j]
+            tokens.append(Token("number", text, line, column))
+            advance(text)
+            i = j
+            continue
+        # Identifiers and keywords (primes allowed, as in the paper's x').
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (source[j].isalnum() or source[j] in "_'"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            advance(text)
+            i = j
+            continue
+        # Single-character punctuation.
+        if ch in _SINGLE_PUNCT:
+            tokens.append(Token("punct", ch, line, column))
+            advance(ch)
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

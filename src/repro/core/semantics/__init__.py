@@ -1,0 +1,53 @@
+"""Operational and big-step semantics for Λnum."""
+
+from .evaluator import (
+    EvaluationConfig,
+    build_environment,
+    evaluate,
+    fp_config,
+    ideal_config,
+    lift_input,
+    run_both,
+    run_monadic,
+)
+from .operational import is_normal_form, normalize, step, step_fp, step_ideal
+from .values import (
+    BoxV,
+    ClosureV,
+    ErrV,
+    InlV,
+    InrV,
+    MonadicV,
+    NumV,
+    TensorV,
+    UnitV,
+    Value,
+    WithV,
+)
+
+__all__ = [
+    "EvaluationConfig",
+    "build_environment",
+    "evaluate",
+    "fp_config",
+    "ideal_config",
+    "lift_input",
+    "run_both",
+    "run_monadic",
+    "is_normal_form",
+    "normalize",
+    "step",
+    "step_fp",
+    "step_ideal",
+    "Value",
+    "NumV",
+    "UnitV",
+    "WithV",
+    "TensorV",
+    "InlV",
+    "InrV",
+    "BoxV",
+    "ClosureV",
+    "MonadicV",
+    "ErrV",
+]

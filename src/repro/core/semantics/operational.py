@@ -1,0 +1,175 @@
+"""Small-step operational semantics (Fig. 3) and its ideal/FP refinements.
+
+``step`` implements the pure evaluation rules of Fig. 3, under which
+``rnd v`` is a value and ``let-bind(rnd v, x. f)`` is a (blocked) value.
+``step_ideal`` and ``step_fp`` add the rules of Definition 4.16::
+
+    rnd k  ->_id  ret k          rnd k  ->_fp  ret ρ(k)
+
+making every closed well-typed program of monadic type normalise to
+``ret k``.  ``normalize`` iterates a step function to a normal form; it is
+primarily used by the test suite to cross-check the big-step evaluators and
+to exercise the preservation/termination theorems on concrete programs.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Optional, Tuple
+
+from ...floats.rounding import RoundingMode, round_to_precision
+from .. import ast as A
+from ..errors import EvaluationError
+from ..signature import Signature, standard_signature
+from .values import from_plain, to_plain, value_to_term
+
+__all__ = ["step", "step_ideal", "step_fp", "normalize", "is_normal_form"]
+
+
+def _is_value(term: A.Term) -> bool:
+    return A.is_value(term)
+
+
+def step(
+    term: A.Term,
+    signature: Signature | None = None,
+    rnd_rule: Optional[Callable[[Fraction], A.Term]] = None,
+) -> Optional[A.Term]:
+    """Perform one reduction step; return ``None`` when no rule applies.
+
+    ``rnd_rule`` optionally maps the constant under a ``rnd`` to the term it
+    steps to (used by the ideal/FP refinements); without it ``rnd k`` is a
+    value, as in Fig. 3.
+    """
+    signature = signature or standard_signature()
+
+    # Refined rounding rule (Definition 4.16).
+    if rnd_rule is not None and isinstance(term, A.Rnd) and isinstance(term.value, A.Const):
+        return rnd_rule(term.value.value)
+
+    if isinstance(term, A.Proj) and _is_value(term.value):
+        if isinstance(term.value, A.WithPair):
+            return term.value.left if term.index == 1 else term.value.right
+        raise EvaluationError("projection applied to a non-pair value")
+
+    if isinstance(term, A.Op) and _is_value(term.value):
+        operation = signature.lookup(term.name)
+        argument = to_plain(_term_to_value(term.value))
+        return value_to_term(from_plain(operation.apply(argument)))
+
+    if isinstance(term, A.App) and _is_value(term.function) and _is_value(term.argument):
+        if isinstance(term.function, A.Lambda):
+            return A.substitute(term.function.body, {term.function.parameter: term.argument})
+        raise EvaluationError("application of a non-lambda value")
+
+    if isinstance(term, A.LetTensor) and _is_value(term.value):
+        if isinstance(term.value, A.TensorPair):
+            return A.substitute(
+                term.body,
+                {term.left_var: term.value.left, term.right_var: term.value.right},
+            )
+        raise EvaluationError("tensor elimination applied to a non-tensor value")
+
+    if isinstance(term, A.LetBox) and _is_value(term.value):
+        if isinstance(term.value, A.Box):
+            return A.substitute(term.body, {term.variable: term.value.value})
+        raise EvaluationError("box elimination applied to a non-box value")
+
+    if isinstance(term, A.Case) and _is_value(term.scrutinee):
+        if isinstance(term.scrutinee, A.Inl):
+            return A.substitute(term.left_body, {term.left_var: term.scrutinee.value})
+        if isinstance(term.scrutinee, A.Inr):
+            return A.substitute(term.right_body, {term.right_var: term.scrutinee.value})
+        raise EvaluationError("case applied to a non-sum value")
+
+    if isinstance(term, A.LetBind):
+        # let-bind(ret v, x. e) -> e[v/x]
+        if isinstance(term.value, A.Ret) and _is_value(term.value.value):
+            return A.substitute(term.body, {term.variable: term.value.value})
+        # Associativity: let-bind(let-bind(v, x. f), y. g)
+        #   -> let-bind(v, x. let-bind(f, y. g))     (x not free in g)
+        if isinstance(term.value, A.LetBind):
+            inner = term.value
+            x = inner.variable
+            if x in A.free_variables(term.body):
+                fresh = A.fresh_name(x, A.free_variables(term.body) | A.free_variables(inner.body))
+                inner_body = A.substitute(inner.body, {x: A.Var(fresh)})
+                x = fresh
+            else:
+                inner_body = inner.body
+            return A.LetBind(x, inner.value, A.LetBind(term.variable, inner_body, term.body))
+        # Error propagation (Section 7.1): let-bind(err, x. f) -> err.
+        if isinstance(term.value, A.Err):
+            return A.Err()
+        # Otherwise the bound computation itself must step (only happens for
+        # the refined semantics where rnd k steps to ret k / ret ρ(k)).
+        if rnd_rule is not None and not _is_rnd_value_blocked(term.value, rnd_rule):
+            next_value = step(term.value, signature, rnd_rule)
+            if next_value is not None:
+                return A.LetBind(term.variable, next_value, term.body)
+
+    if isinstance(term, A.Let):
+        if _is_value(term.bound):
+            return A.substitute(term.body, {term.variable: term.bound})
+        next_bound = step(term.bound, signature, rnd_rule)
+        if next_bound is None:
+            raise EvaluationError("stuck term in let binding")
+        return A.Let(term.variable, next_bound, term.body)
+
+    return None
+
+
+def _is_rnd_value_blocked(term: A.Term, rnd_rule) -> bool:
+    """Under the refined semantics nothing is blocked on rnd; kept for clarity."""
+    return False
+
+
+def _term_to_value(term: A.Term):
+    """Convert a closed syntactic value into a semantic value (no closures)."""
+    from .evaluator import evaluate, ideal_config
+
+    return evaluate(term, {}, ideal_config())
+
+
+def step_ideal(term: A.Term, signature: Signature | None = None) -> Optional[A.Term]:
+    """One step of the ideal semantics: ``rnd k ->_id ret k``."""
+    return step(term, signature, rnd_rule=lambda k: A.Ret(A.Const(k)))
+
+
+def step_fp(
+    term: A.Term,
+    signature: Signature | None = None,
+    precision: int = 53,
+    rounding: RoundingMode = RoundingMode.TOWARD_POSITIVE,
+) -> Optional[A.Term]:
+    """One step of the FP semantics: ``rnd k ->_fp ret ρ(k)``."""
+
+    def rnd_rule(k: Fraction) -> A.Term:
+        return A.Ret(A.Const(round_to_precision(k, precision, rounding)))
+
+    return step(term, signature, rnd_rule=rnd_rule)
+
+
+def is_normal_form(term: A.Term, refined: bool) -> bool:
+    """Is the term a value (pure semantics) / a ``ret``-value (refined)?"""
+    if refined:
+        return (isinstance(term, A.Ret) and A.is_value(term.value)) or isinstance(term, A.Err)
+    return A.is_value(term)
+
+
+def normalize(
+    term: A.Term,
+    stepper: Callable[[A.Term], Optional[A.Term]] = None,
+    max_steps: int = 1_000_000,
+) -> Tuple[A.Term, int]:
+    """Iterate ``stepper`` to a normal form; returns the result and step count."""
+    stepper = stepper or step
+    count = 0
+    current = term
+    while count < max_steps:
+        next_term = stepper(current)
+        if next_term is None:
+            return current, count
+        current = next_term
+        count += 1
+    raise EvaluationError(f"no normal form after {max_steps} steps")

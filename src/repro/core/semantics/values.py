@@ -1,0 +1,179 @@
+"""Semantic values for the Λnum evaluators.
+
+The big-step evaluators (``repro.core.semantics.evaluator``) work with the
+value classes defined here; the small-step semantics
+(``repro.core.semantics.operational``) works directly on closed terms.
+
+``to_plain``/``from_plain`` convert between semantic values and the "plain"
+Python representation used by primitive-operation implementations (numbers as
+:class:`~fractions.Fraction`, pairs as tuples, unit as ``None`` and booleans
+as ``bool``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .. import ast as A
+from .. import types as T
+from ..errors import EvaluationError
+
+__all__ = [
+    "Value",
+    "NumV",
+    "UnitV",
+    "WithV",
+    "TensorV",
+    "InlV",
+    "InrV",
+    "BoxV",
+    "ClosureV",
+    "MonadicV",
+    "ErrV",
+    "Environment",
+    "to_plain",
+    "from_plain",
+    "value_to_term",
+]
+
+
+class Value:
+    """Base class of semantic values."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NumV(Value):
+    value: Fraction
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", Fraction(self.value))
+
+
+@dataclass(frozen=True)
+class UnitV(Value):
+    pass
+
+
+@dataclass(frozen=True)
+class WithV(Value):
+    left: Value
+    right: Value
+
+
+@dataclass(frozen=True)
+class TensorV(Value):
+    left: Value
+    right: Value
+
+
+@dataclass(frozen=True)
+class InlV(Value):
+    value: Value
+
+
+@dataclass(frozen=True)
+class InrV(Value):
+    value: Value
+
+
+@dataclass(frozen=True)
+class BoxV(Value):
+    value: Value
+
+
+@dataclass(frozen=True)
+class ClosureV(Value):
+    parameter: str
+    body: A.Term
+    environment: "Environment"
+
+
+@dataclass(frozen=True)
+class MonadicV(Value):
+    """The result of a monadic computation (``ret v`` after all rounding)."""
+
+    value: Value
+
+
+@dataclass(frozen=True)
+class ErrV(Value):
+    """The exceptional result of the Section 7.1 floating-point semantics."""
+
+    reason: str = "exceptional value"
+
+
+Environment = Dict[str, Value]
+
+
+# ---------------------------------------------------------------------------
+# Conversions
+# ---------------------------------------------------------------------------
+
+
+def to_plain(value: Value) -> Any:
+    """Lower a semantic value to the plain Python representation used by ops."""
+    if isinstance(value, NumV):
+        return value.value
+    if isinstance(value, UnitV):
+        return None
+    if isinstance(value, (WithV, TensorV)):
+        return (to_plain(value.left), to_plain(value.right))
+    if isinstance(value, BoxV):
+        return to_plain(value.value)
+    if isinstance(value, InlV):
+        if isinstance(value.value, UnitV):
+            return True
+        return ("inl", to_plain(value.value))
+    if isinstance(value, InrV):
+        if isinstance(value.value, UnitV):
+            return False
+        return ("inr", to_plain(value.value))
+    if isinstance(value, MonadicV):
+        return to_plain(value.value)
+    if isinstance(value, ErrV):
+        return ("err", value.reason)
+    raise EvaluationError(f"cannot lower value {value!r} to a plain representation")
+
+
+def from_plain(result: Any) -> Value:
+    """Lift a plain operation result back into a semantic value."""
+    if isinstance(result, Value):
+        return result
+    if isinstance(result, bool):
+        return InlV(UnitV()) if result else InrV(UnitV())
+    if isinstance(result, (int, Fraction)):
+        return NumV(Fraction(result))
+    if result is None:
+        return UnitV()
+    if isinstance(result, tuple) and len(result) == 2:
+        return TensorV(from_plain(result[0]), from_plain(result[1]))
+    raise EvaluationError(f"cannot lift plain result {result!r} into a value")
+
+
+def value_to_term(value: Value) -> A.Term:
+    """Quote a (first-order) semantic value back into term syntax."""
+    if isinstance(value, NumV):
+        return A.Const(value.value)
+    if isinstance(value, UnitV):
+        return A.UnitVal()
+    if isinstance(value, WithV):
+        return A.WithPair(value_to_term(value.left), value_to_term(value.right))
+    if isinstance(value, TensorV):
+        return A.TensorPair(value_to_term(value.left), value_to_term(value.right))
+    if isinstance(value, InlV):
+        return A.Inl(value_to_term(value.value))
+    if isinstance(value, InrV):
+        return A.Inr(value_to_term(value.value))
+    if isinstance(value, BoxV):
+        return A.Box(value_to_term(value.value))
+    if isinstance(value, MonadicV):
+        return A.Ret(value_to_term(value.value))
+    if isinstance(value, ErrV):
+        return A.Err()
+    if isinstance(value, ClosureV):
+        raise EvaluationError("cannot quote a closure back into source syntax")
+    raise EvaluationError(f"cannot quote value {value!r}")

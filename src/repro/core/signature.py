@@ -1,0 +1,230 @@
+"""The operation signature Σ and its standard RP instantiation (Section 5).
+
+Λnum is parameterised by a signature of primitive operations, each with a
+type ``σ ⊸ τ`` and a semantic function on closed values.  The standard
+instantiation (Fig. 5) interprets ``num`` as the strictly positive reals with
+the relative-precision metric and provides::
+
+    add  : (num × num) ⊸ num        -- with-pair: max metric
+    mul  : (num ⊗ num) ⊸ num        -- tensor pair: sum metric
+    div  : (num ⊗ num) ⊸ num
+    sqrt : ![0.5] num ⊸ num
+
+each of which is non-expansive for the RP metric (Olver 1978, Corollary 1 and
+Property V).  For conditionals (Section 5.1) we also provide the boolean test
+``is_pos`` and comparison operations, all with infinite sensitivity.
+
+Semantic functions operate on "plain" values: numbers are
+:class:`~fractions.Fraction`, pairs are Python tuples, unit is ``None`` and
+booleans are Python ``bool`` (the evaluator converts to/from ``inl``/``inr``).
+The ideal semantics keeps ``add``/``mul``/``div`` exact; ``sqrt`` is
+correctly rounded to :data:`WORKING_PRECISION` bits, a slack that the
+soundness checker accounts for explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, Optional
+
+from ..floats.exactmath import sqrt_round
+from .errors import EvaluationError, SignatureError
+from .grades import INFINITY, Grade, as_grade
+from .types import Arrow, Bang, NUM, TensorProduct, Type, WithProduct, bool_type
+
+__all__ = [
+    "Operation",
+    "Signature",
+    "standard_signature",
+    "WORKING_PRECISION",
+    "IDEAL_SQRT_RP_SLACK",
+]
+
+#: Precision (in bits) used for the ideal semantics of sqrt.  The induced RP
+#: error of a single ideal sqrt is at most 2^(1 - WORKING_PRECISION) * 2,
+#: which the soundness checker adds as explicit slack per sqrt operation.
+WORKING_PRECISION = 300
+
+#: A safe per-operation RP slack bound for the working-precision sqrt.
+IDEAL_SQRT_RP_SLACK = Fraction(1, 2 ** (WORKING_PRECISION - 3))
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A primitive operation ``{ op : σ ⊸ τ } ∈ Σ`` with its interpretation."""
+
+    name: str
+    input_type: Type
+    result_type: Type
+    func: Callable[[object], object]
+    #: Human-readable note on why the operation is non-expansive.
+    justification: str = ""
+
+    @property
+    def arrow_type(self) -> Arrow:
+        return Arrow(self.input_type, self.result_type)
+
+    def apply(self, argument: object) -> object:
+        return self.func(argument)
+
+
+class Signature:
+    """A collection of primitive operations, indexed by name."""
+
+    def __init__(self, operations: Iterable[Operation] = ()) -> None:
+        self._operations: Dict[str, Operation] = {}
+        for operation in operations:
+            self.register(operation)
+
+    def register(self, operation: Operation) -> None:
+        if operation.name in self._operations:
+            raise SignatureError(f"operation {operation.name!r} is already registered")
+        self._operations[operation.name] = operation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._operations
+
+    def __iter__(self):
+        return iter(self._operations.values())
+
+    def names(self):
+        return tuple(self._operations)
+
+    def lookup(self, name: str) -> Operation:
+        try:
+            return self._operations[name]
+        except KeyError:
+            raise SignatureError(f"unknown primitive operation {name!r}") from None
+
+    def extended(self, *operations: Operation) -> "Signature":
+        new = Signature(self._operations.values())
+        for operation in operations:
+            new.register(operation)
+        return new
+
+
+# ---------------------------------------------------------------------------
+# Semantic functions for the standard instantiation
+# ---------------------------------------------------------------------------
+
+
+def _require_positive(value: Fraction, op_name: str) -> Fraction:
+    if value <= 0:
+        raise EvaluationError(
+            f"{op_name} requires strictly positive arguments under the RP instantiation, "
+            f"got {value}"
+        )
+    return value
+
+
+def _sem_add(argument: object) -> Fraction:
+    x, y = argument
+    return Fraction(x) + Fraction(y)
+
+
+def _sem_mul(argument: object) -> Fraction:
+    x, y = argument
+    return Fraction(x) * Fraction(y)
+
+
+def _sem_div(argument: object) -> Fraction:
+    x, y = argument
+    if Fraction(y) == 0:
+        raise EvaluationError("division by zero")
+    return Fraction(x) / Fraction(y)
+
+
+def _sem_sqrt(argument: object) -> Fraction:
+    value = Fraction(argument)
+    if value < 0:
+        raise EvaluationError("sqrt of a negative number")
+    return sqrt_round(value, WORKING_PRECISION, "RN")
+
+
+def _sem_is_pos(argument: object) -> bool:
+    return Fraction(argument) > 0
+
+
+def _sem_gt(argument: object) -> bool:
+    x, y = argument
+    return Fraction(x) > Fraction(y)
+
+
+def _sem_lt(argument: object) -> bool:
+    x, y = argument
+    return Fraction(x) < Fraction(y)
+
+
+def _sem_geq(argument: object) -> bool:
+    x, y = argument
+    return Fraction(x) >= Fraction(y)
+
+
+def standard_signature() -> Signature:
+    """The RP-metric signature of Fig. 5 plus boolean tests for conditionals."""
+    num_pair_max = WithProduct(NUM, NUM)
+    num_pair_sum = TensorProduct(NUM, NUM)
+    boolean = bool_type()
+    half = as_grade(Fraction(1, 2))
+    return Signature(
+        [
+            Operation(
+                "add",
+                num_pair_max,
+                NUM,
+                _sem_add,
+                "RP(x+y, x'+y') <= max(RP(x,x'), RP(y,y')) for positive reals "
+                "(Olver 1978, Corollary 1)",
+            ),
+            Operation(
+                "mul",
+                num_pair_sum,
+                NUM,
+                _sem_mul,
+                "RP(xy, x'y') <= RP(x,x') + RP(y,y') (Olver 1978, Property V)",
+            ),
+            Operation(
+                "div",
+                num_pair_sum,
+                NUM,
+                _sem_div,
+                "RP(x/y, x'/y') <= RP(x,x') + RP(y,y')",
+            ),
+            Operation(
+                "sqrt",
+                Bang(half, NUM),
+                NUM,
+                _sem_sqrt,
+                "RP(sqrt x, sqrt x') = RP(x, x') / 2",
+            ),
+            Operation(
+                "is_pos",
+                Bang(INFINITY, NUM),
+                boolean,
+                _sem_is_pos,
+                "boolean tests have infinite sensitivity (Section 5.1)",
+            ),
+            Operation(
+                "gt",
+                Bang(INFINITY, num_pair_sum),
+                boolean,
+                _sem_gt,
+                "comparisons have infinite sensitivity",
+            ),
+            Operation(
+                "lt",
+                Bang(INFINITY, num_pair_sum),
+                boolean,
+                _sem_lt,
+                "comparisons have infinite sensitivity",
+            ),
+            Operation(
+                "geq",
+                Bang(INFINITY, num_pair_sum),
+                boolean,
+                _sem_geq,
+                "comparisons have infinite sensitivity",
+            ),
+        ]
+    )

@@ -1,0 +1,102 @@
+"""Subtyping and the max/min (super/sub-type) lattice operations.
+
+These implement Figs. 11 and 12 of the paper.  Subtyping ``σ ⊑ τ`` captures
+that a ``k``-sensitive function is also ``k'``-sensitive for ``k ≤ k'`` and
+that rounding-error bounds may be loosened:
+
+* ``M_u σ ⊑ M_u' σ'``  when ``σ ⊑ σ'`` and ``u ≤ u'`` (covariant grade),
+* ``!_s' σ ⊑ !_s σ'``  when ``σ ⊑ σ'`` and ``s ≤ s'`` (contravariant grade),
+* the function type is contravariant in its argument.
+
+``join`` computes the least supertype (``max`` in Fig. 11) and ``meet`` the
+greatest subtype (``min``); both are partial and raise :class:`TypeJoinError`
+when the two types have different shapes.
+"""
+
+from __future__ import annotations
+
+from .errors import TypeJoinError
+from .types import (
+    Arrow,
+    Bang,
+    Monadic,
+    Num,
+    SumType,
+    TensorProduct,
+    Type,
+    Unit,
+    WithProduct,
+)
+
+__all__ = ["is_subtype", "join", "meet", "check_subtype"]
+
+
+def is_subtype(sigma: Type, tau: Type) -> bool:
+    """Return True when ``sigma ⊑ tau`` according to Fig. 12."""
+    if isinstance(sigma, Unit) and isinstance(tau, Unit):
+        return True
+    if isinstance(sigma, Num) and isinstance(tau, Num):
+        return True
+    if isinstance(sigma, WithProduct) and isinstance(tau, WithProduct):
+        return is_subtype(sigma.left, tau.left) and is_subtype(sigma.right, tau.right)
+    if isinstance(sigma, TensorProduct) and isinstance(tau, TensorProduct):
+        return is_subtype(sigma.left, tau.left) and is_subtype(sigma.right, tau.right)
+    if isinstance(sigma, SumType) and isinstance(tau, SumType):
+        return is_subtype(sigma.left, tau.left) and is_subtype(sigma.right, tau.right)
+    if isinstance(sigma, Arrow) and isinstance(tau, Arrow):
+        return is_subtype(tau.argument, sigma.argument) and is_subtype(sigma.result, tau.result)
+    if isinstance(sigma, Monadic) and isinstance(tau, Monadic):
+        return sigma.grade <= tau.grade and is_subtype(sigma.inner, tau.inner)
+    if isinstance(sigma, Bang) and isinstance(tau, Bang):
+        # !_{s'} σ ⊑ !_s σ'  requires  s ≤ s'  (Fig. 12, rule ⊑.!)
+        return tau.sensitivity <= sigma.sensitivity and is_subtype(sigma.inner, tau.inner)
+    return False
+
+
+def check_subtype(sigma: Type, tau: Type, context: str = "") -> None:
+    """Raise :class:`TypeJoinError` unless ``sigma ⊑ tau``."""
+    if not is_subtype(sigma, tau):
+        suffix = f" ({context})" if context else ""
+        raise TypeJoinError(f"{sigma} is not a subtype of {tau}{suffix}")
+
+
+def join(sigma: Type, tau: Type) -> Type:
+    """The supertype ``max(σ, τ)`` of Fig. 11."""
+    if isinstance(sigma, Unit) and isinstance(tau, Unit):
+        return sigma
+    if isinstance(sigma, Num) and isinstance(tau, Num):
+        return sigma
+    if isinstance(sigma, WithProduct) and isinstance(tau, WithProduct):
+        return WithProduct(join(sigma.left, tau.left), join(sigma.right, tau.right))
+    if isinstance(sigma, TensorProduct) and isinstance(tau, TensorProduct):
+        return TensorProduct(join(sigma.left, tau.left), join(sigma.right, tau.right))
+    if isinstance(sigma, SumType) and isinstance(tau, SumType):
+        return SumType(join(sigma.left, tau.left), join(sigma.right, tau.right))
+    if isinstance(sigma, Monadic) and isinstance(tau, Monadic):
+        return Monadic(sigma.grade.max(tau.grade), join(sigma.inner, tau.inner))
+    if isinstance(sigma, Bang) and isinstance(tau, Bang):
+        return Bang(sigma.sensitivity.min(tau.sensitivity), join(sigma.inner, tau.inner))
+    if isinstance(sigma, Arrow) and isinstance(tau, Arrow):
+        return Arrow(meet(sigma.argument, tau.argument), join(sigma.result, tau.result))
+    raise TypeJoinError(f"no supertype of {sigma} and {tau}")
+
+
+def meet(sigma: Type, tau: Type) -> Type:
+    """The subtype ``min(σ, τ)`` of Fig. 11."""
+    if isinstance(sigma, Unit) and isinstance(tau, Unit):
+        return sigma
+    if isinstance(sigma, Num) and isinstance(tau, Num):
+        return sigma
+    if isinstance(sigma, WithProduct) and isinstance(tau, WithProduct):
+        return WithProduct(meet(sigma.left, tau.left), meet(sigma.right, tau.right))
+    if isinstance(sigma, TensorProduct) and isinstance(tau, TensorProduct):
+        return TensorProduct(meet(sigma.left, tau.left), meet(sigma.right, tau.right))
+    if isinstance(sigma, SumType) and isinstance(tau, SumType):
+        return SumType(meet(sigma.left, tau.left), meet(sigma.right, tau.right))
+    if isinstance(sigma, Monadic) and isinstance(tau, Monadic):
+        return Monadic(sigma.grade.min(tau.grade), meet(sigma.inner, tau.inner))
+    if isinstance(sigma, Bang) and isinstance(tau, Bang):
+        return Bang(sigma.sensitivity.max(tau.sensitivity), meet(sigma.inner, tau.inner))
+    if isinstance(sigma, Arrow) and isinstance(tau, Arrow):
+        return Arrow(join(sigma.argument, tau.argument), meet(sigma.result, tau.result))
+    raise TypeJoinError(f"no subtype of {sigma} and {tau}")

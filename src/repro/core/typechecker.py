@@ -1,0 +1,69 @@
+"""Checking declarative typing judgments ``Γ ⊢ e : τ`` (Fig. 2).
+
+The declarative system differs from the algorithm of Fig. 10 only in where
+weakening and subtyping are applied.  By Theorem 6.2 (subtyping is admissible)
+and Theorem 6.3 (algorithmic soundness), the judgment ``Γ ⊢ e : τ`` is
+derivable exactly when the minimal context/type computed by inference are
+below ``Γ``/``τ`` in the subenvironment/subtyping orders.  ``check_judgment``
+implements that criterion, and is used by the test suite to validate the
+inference algorithm against the declarative presentation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast as A
+from . import types as T
+from .environment import Context
+from .errors import TypeCheckError
+from .grades import Grade
+from .inference import InferenceConfig, infer
+from .subtyping import is_subtype
+
+__all__ = ["check_judgment", "derivable"]
+
+
+def check_judgment(
+    term: A.Term,
+    context: Context,
+    expected: T.Type,
+    config: Optional[InferenceConfig] = None,
+) -> None:
+    """Raise :class:`TypeCheckError` unless ``context ⊢ term : expected`` is derivable."""
+    result = infer(term, context.skeleton(), config)
+    if not is_subtype(result.type, expected):
+        raise TypeCheckError(
+            f"term has minimal type {result.type}, which is not a subtype of {expected}"
+        )
+    for name in result.context:
+        needed: Grade = result.context.sensitivity_of(name)
+        if needed.is_zero:
+            continue
+        if name not in context:
+            raise TypeCheckError(f"free variable {name!r} is not bound by the context")
+        provided = context.sensitivity_of(name)
+        if not (needed <= provided):
+            raise TypeCheckError(
+                f"variable {name!r} needs sensitivity {needed} but the context only "
+                f"provides {provided}"
+            )
+        if context.type_of(name) != result.context.type_of(name):
+            raise TypeCheckError(
+                f"variable {name!r} has type {context.type_of(name)} in the context but "
+                f"{result.context.type_of(name)} in the term"
+            )
+
+
+def derivable(
+    term: A.Term,
+    context: Context,
+    expected: T.Type,
+    config: Optional[InferenceConfig] = None,
+) -> bool:
+    """Boolean form of :func:`check_judgment`."""
+    try:
+        check_judgment(term, context, expected, config)
+    except Exception:
+        return False
+    return True

@@ -1,0 +1,209 @@
+"""Type syntax for Λnum (Fig. 1 of the paper).
+
+Types are immutable, hashable dataclass-like objects::
+
+    τ ::= unit | num | τ × τ | τ ⊗ τ | τ + τ | τ ⊸ τ | !_s τ | M_u τ
+
+The two graded connectives carry :class:`~repro.core.grades.Grade` objects:
+``Bang(s, τ)`` is the metric-scaled type ``!_s τ`` and ``Monadic(u, τ)`` is the
+graded monadic type ``M_u τ`` tracking at most ``u`` of rounding error.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .grades import Grade, GradeLike, as_grade
+
+__all__ = [
+    "Type",
+    "Unit",
+    "Num",
+    "TensorProduct",
+    "WithProduct",
+    "SumType",
+    "Arrow",
+    "Bang",
+    "Monadic",
+    "UNIT",
+    "NUM",
+    "bool_type",
+    "tensor",
+    "with_product",
+    "arrow",
+    "bang",
+    "monadic",
+]
+
+
+class Type:
+    """Base class for all Λnum types."""
+
+    __slots__ = ()
+
+    def _key(self) -> Tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Type):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class Unit(Type):
+    """The unit type with the singleton metric space interpretation."""
+
+    __slots__ = ()
+
+    def _key(self) -> Tuple:
+        return ("unit",)
+
+    def __str__(self) -> str:
+        return "unit"
+
+
+class Num(Type):
+    """The numeric base type; its metric is fixed by the instantiation."""
+
+    __slots__ = ()
+
+    def _key(self) -> Tuple:
+        return ("num",)
+
+    def __str__(self) -> str:
+        return "num"
+
+
+class TensorProduct(Type):
+    """The tensor product ``σ ⊗ τ`` whose metric is the *sum* of distances."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Type, right: Type) -> None:
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def _key(self) -> Tuple:
+        return ("tensor", self.left._key(), self.right._key())
+
+    def __str__(self) -> str:
+        return f"({self.left} (x) {self.right})"
+
+
+class WithProduct(Type):
+    """The Cartesian product ``σ × τ`` whose metric is the *max* of distances."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Type, right: Type) -> None:
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def _key(self) -> Tuple:
+        return ("with", self.left._key(), self.right._key())
+
+    def __str__(self) -> str:
+        return f"({self.left} x {self.right})"
+
+
+class SumType(Type):
+    """The coproduct ``σ + τ``; distinct injections are infinitely far apart."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Type, right: Type) -> None:
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def _key(self) -> Tuple:
+        return ("sum", self.left._key(), self.right._key())
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+class Arrow(Type):
+    """The linear function type ``σ ⊸ τ`` of non-expansive (1-sensitive) maps."""
+
+    __slots__ = ("argument", "result")
+
+    def __init__(self, argument: Type, result: Type) -> None:
+        object.__setattr__(self, "argument", argument)
+        object.__setattr__(self, "result", result)
+
+    def _key(self) -> Tuple:
+        return ("arrow", self.argument._key(), self.result._key())
+
+    def __str__(self) -> str:
+        return f"({self.argument} -o {self.result})"
+
+
+class Bang(Type):
+    """The metric-scaled type ``!_s σ``: the metric of ``σ`` scaled by ``s``."""
+
+    __slots__ = ("sensitivity", "inner")
+
+    def __init__(self, sensitivity: GradeLike, inner: Type) -> None:
+        object.__setattr__(self, "sensitivity", as_grade(sensitivity))
+        object.__setattr__(self, "inner", inner)
+
+    def _key(self) -> Tuple:
+        return ("bang", self.sensitivity, self.inner._key())
+
+    def __str__(self) -> str:
+        return f"![{self.sensitivity}]{self.inner}"
+
+
+class Monadic(Type):
+    """The graded monadic type ``M_u τ``: rounding computations with error ≤ u."""
+
+    __slots__ = ("grade", "inner")
+
+    def __init__(self, grade: GradeLike, inner: Type) -> None:
+        object.__setattr__(self, "grade", as_grade(grade))
+        object.__setattr__(self, "inner", inner)
+
+    def _key(self) -> Tuple:
+        return ("monadic", self.grade, self.inner._key())
+
+    def __str__(self) -> str:
+        return f"M[{self.grade}]{self.inner}"
+
+
+UNIT = Unit()
+NUM = Num()
+
+
+def bool_type() -> SumType:
+    """Booleans are encoded as ``unit + unit`` (true = inl, false = inr)."""
+    return SumType(UNIT, UNIT)
+
+
+def tensor(left: Type, right: Type) -> TensorProduct:
+    return TensorProduct(left, right)
+
+
+def with_product(left: Type, right: Type) -> WithProduct:
+    return WithProduct(left, right)
+
+
+def arrow(argument: Type, result: Type) -> Arrow:
+    return Arrow(argument, result)
+
+
+def bang(sensitivity: GradeLike, inner: Type) -> Bang:
+    return Bang(sensitivity, inner)
+
+
+def monadic(grade: GradeLike, inner: Type) -> Monadic:
+    return Monadic(grade, inner)
+
+
+def is_boolean(tau: Type) -> bool:
+    return isinstance(tau, SumType) and tau.left == UNIT and tau.right == UNIT

@@ -1,0 +1,55 @@
+"""IEEE-754 substrate: formats, rounding operators, exact-arithmetic helpers."""
+
+from .exactmath import (
+    exp_enclosure,
+    expm1_lower,
+    expm1_upper,
+    floor_log2,
+    log_enclosure,
+    log_ratio_enclosure,
+    rp_distance_enclosure,
+    sqrt_is_exact,
+    sqrt_round,
+)
+from .formats import BINARY32, BINARY64, BINARY128, STANDARD_FORMATS, FloatFormat, format_table
+from .rounding import (
+    RoundingMode,
+    RoundResult,
+    make_rounder,
+    round_to_format,
+    round_to_precision,
+    rounding_mode_table,
+    unit_roundoff,
+)
+from .standard_model import StandardModel, relative_error
+from .ulp import bits_of_error, ulp, ulp_error
+
+__all__ = [
+    "BINARY32",
+    "BINARY64",
+    "BINARY128",
+    "STANDARD_FORMATS",
+    "FloatFormat",
+    "format_table",
+    "RoundingMode",
+    "RoundResult",
+    "make_rounder",
+    "round_to_format",
+    "round_to_precision",
+    "rounding_mode_table",
+    "unit_roundoff",
+    "StandardModel",
+    "relative_error",
+    "bits_of_error",
+    "ulp",
+    "ulp_error",
+    "floor_log2",
+    "sqrt_round",
+    "sqrt_is_exact",
+    "log_enclosure",
+    "log_ratio_enclosure",
+    "rp_distance_enclosure",
+    "exp_enclosure",
+    "expm1_upper",
+    "expm1_lower",
+]

@@ -1,0 +1,267 @@
+"""Exact rational helpers used throughout the error analysis.
+
+Verifying the paper's bounds requires *exact* arithmetic: the relative
+precision metric is ``RP(x, x̃) = |ln(x / x̃)|`` and the distances involved are
+on the order of ``2^-52``, far below what a double-precision ``math.log`` can
+resolve for ratios near 1.  This module provides:
+
+* :func:`floor_log2` — exact ``⌊log2 x⌋`` of a positive rational;
+* :func:`sqrt_round` — the square root of a positive rational correctly
+  rounded to ``p`` significant bits in any IEEE rounding direction;
+* :func:`log_enclosure` — a rational interval guaranteed to contain ``ln x``;
+* :func:`log_ratio_enclosure` — a rational interval containing ``ln(a/b)``;
+* :func:`exp_enclosure` — a rational interval containing ``exp x``;
+* :func:`expm1_upper` / :func:`expm1_lower` — rational bounds on ``e^x - 1``
+  used to convert RP bounds into relative-error bounds (Equation (8)).
+
+Every bound returned here is *rigorous*: truncation errors of the underlying
+series are accounted for with explicit rational remainder terms.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import isqrt
+from typing import Tuple
+
+__all__ = [
+    "floor_log2",
+    "sqrt_round",
+    "sqrt_is_exact",
+    "log_enclosure",
+    "log_ratio_enclosure",
+    "exp_enclosure",
+    "expm1_upper",
+    "expm1_lower",
+    "rp_distance_enclosure",
+    "DEFAULT_SERIES_TERMS",
+]
+
+DEFAULT_SERIES_TERMS = 40
+
+
+def _pow2(exponent: int) -> Fraction:
+    if exponent >= 0:
+        return Fraction(1 << exponent)
+    return Fraction(1, 1 << (-exponent))
+
+
+def floor_log2(value: Fraction) -> int:
+    """Exact ``⌊log2 value⌋`` for a positive rational ``value``."""
+    value = Fraction(value)
+    if value <= 0:
+        raise ValueError("floor_log2 requires a positive value")
+    numerator, denominator = value.numerator, value.denominator
+    # Initial guess from bit lengths, then correct by at most one step.
+    estimate = numerator.bit_length() - denominator.bit_length()
+    if _pow2(estimate) <= value:
+        while _pow2(estimate + 1) <= value:
+            estimate += 1
+        return estimate
+    while _pow2(estimate) > value:
+        estimate -= 1
+    return estimate
+
+
+# ---------------------------------------------------------------------------
+# Correctly rounded square roots of rationals
+# ---------------------------------------------------------------------------
+
+
+def sqrt_is_exact(value: Fraction) -> bool:
+    """True when ``value`` has an exactly representable rational square root."""
+    value = Fraction(value)
+    if value < 0:
+        return False
+    if value == 0:
+        return True
+    num_root = isqrt(value.numerator)
+    den_root = isqrt(value.denominator)
+    return num_root * num_root == value.numerator and den_root * den_root == value.denominator
+
+
+def _sqrt_floor_scaled(value: Fraction, scale_exponent: int) -> Tuple[int, bool]:
+    """``(⌊sqrt(value) * 2^scale_exponent⌋, exact?)`` using only integers."""
+    if scale_exponent >= 0:
+        scaled = value * Fraction(1 << (2 * scale_exponent))
+    else:
+        scaled = value / Fraction(1 << (-2 * scale_exponent))
+    numerator, denominator = scaled.numerator, scaled.denominator
+    # sqrt(N/D) = sqrt(N*D) / D, so the floor is isqrt(N*D) // D.
+    product = numerator * denominator
+    root = isqrt(product)
+    floor_value = root // denominator
+    exact = root * root == product and root % denominator == 0
+    return floor_value, exact
+
+
+def sqrt_round(value: Fraction, precision: int = 256, mode: str = "RN") -> Fraction:
+    """The square root of ``value`` rounded to ``precision`` significant bits.
+
+    ``mode`` is one of ``"RU"`` (towards +∞), ``"RD"`` (towards −∞), ``"RZ"``
+    (towards zero; identical to RD for non-negative arguments) and ``"RN"``
+    (to nearest, ties to even).  The result is exact whenever the true square
+    root fits in ``precision`` bits.
+    """
+    value = Fraction(value)
+    if value < 0:
+        raise ValueError("sqrt_round requires a non-negative argument")
+    if value == 0:
+        return Fraction(0)
+    if sqrt_is_exact(value):
+        return Fraction(isqrt(value.numerator), isqrt(value.denominator))
+
+    # Exponent e with 2^e <= sqrt(value) < 2^(e+1) i.e. 4^e <= value < 4^(e+1).
+    exponent = floor_log2(value) // 2 if floor_log2(value) >= 0 else -((-floor_log2(value) + 1) // 2)
+    # Recompute robustly (the integer-division shortcut above is only a guess).
+    while _pow2(2 * exponent) > value:
+        exponent -= 1
+    while _pow2(2 * (exponent + 1)) <= value:
+        exponent += 1
+
+    # We round to the grid of spacing 2^(exponent - precision + 1).
+    scale = precision - 1 - exponent
+    floor_mantissa, exact = _sqrt_floor_scaled(value, scale)
+    quantum = _pow2(-scale)
+
+    if exact:
+        return Fraction(floor_mantissa) * quantum
+
+    if mode in ("RD", "RZ"):
+        mantissa = floor_mantissa
+    elif mode == "RU":
+        mantissa = floor_mantissa + 1
+    elif mode == "RN":
+        # Compare value against the square of the midpoint (m + 1/2) * quantum.
+        midpoint_num = 2 * floor_mantissa + 1
+        # value ? (midpoint_num/2 * quantum)^2  <=>  4 * value ? midpoint_num^2 * quantum^2
+        lhs = 4 * value
+        rhs = Fraction(midpoint_num * midpoint_num) * quantum * quantum
+        if lhs > rhs:
+            mantissa = floor_mantissa + 1
+        elif lhs < rhs:
+            mantissa = floor_mantissa
+        else:
+            mantissa = floor_mantissa if floor_mantissa % 2 == 0 else floor_mantissa + 1
+    else:
+        raise ValueError(f"unknown rounding mode {mode!r}")
+    return Fraction(mantissa) * quantum
+
+
+# ---------------------------------------------------------------------------
+# Rigorous enclosures of ln and exp
+# ---------------------------------------------------------------------------
+
+# ln 2 enclosure computed lazily from the atanh series at t = 2.
+_LN2_CACHE: Tuple[Fraction, Fraction] | None = None
+
+
+def _atanh_series_enclosure(z: Fraction, terms: int) -> Tuple[Fraction, Fraction]:
+    """Enclosure of ``atanh(z) = Σ_{k odd} z^k / k`` for ``|z| < 1``."""
+    if not (-1 < z < 1):
+        raise ValueError("atanh series requires |z| < 1")
+    total = Fraction(0)
+    power = z
+    z_squared = z * z
+    k = 1
+    for _ in range(terms):
+        total += power / k
+        power *= z_squared
+        k += 2
+    # Remainder: |Σ_{j >= k, odd} z^j / j| <= |z|^k / (k (1 - z^2)).
+    remainder = abs(power) / (k * (1 - z_squared))
+    if z >= 0:
+        return total, total + remainder
+    return total - remainder, total
+
+
+def _ln2_enclosure(terms: int = DEFAULT_SERIES_TERMS) -> Tuple[Fraction, Fraction]:
+    global _LN2_CACHE
+    if _LN2_CACHE is None:
+        # ln 2 = 2 atanh(1/3)
+        low, high = _atanh_series_enclosure(Fraction(1, 3), terms)
+        _LN2_CACHE = (2 * low, 2 * high)
+    return _LN2_CACHE
+
+
+def log_enclosure(value: Fraction, terms: int = DEFAULT_SERIES_TERMS) -> Tuple[Fraction, Fraction]:
+    """A rational interval ``[lo, hi]`` with ``lo <= ln(value) <= hi``."""
+    value = Fraction(value)
+    if value <= 0:
+        raise ValueError("log_enclosure requires a positive argument")
+    # Argument reduction: value = 2^k * t with t in [3/4, 3/2).
+    k = 0
+    t = value
+    while t >= Fraction(3, 2):
+        t /= 2
+        k += 1
+    while t < Fraction(3, 4):
+        t *= 2
+        k -= 1
+    # ln t = 2 atanh((t - 1) / (t + 1))
+    z = (t - 1) / (t + 1)
+    low_t, high_t = _atanh_series_enclosure(z, terms)
+    low_t, high_t = 2 * low_t, 2 * high_t
+    ln2_low, ln2_high = _ln2_enclosure(terms)
+    if k >= 0:
+        return low_t + k * ln2_low, high_t + k * ln2_high
+    return low_t + k * ln2_high, high_t + k * ln2_low
+
+
+def log_ratio_enclosure(
+    numerator: Fraction, denominator: Fraction, terms: int = DEFAULT_SERIES_TERMS
+) -> Tuple[Fraction, Fraction]:
+    """A rational interval containing ``ln(numerator / denominator)``."""
+    ratio = Fraction(numerator) / Fraction(denominator)
+    return log_enclosure(ratio, terms)
+
+
+def rp_distance_enclosure(
+    x: Fraction, y: Fraction, terms: int = DEFAULT_SERIES_TERMS
+) -> Tuple[Fraction, Fraction]:
+    """A rational interval containing ``RP(x, y) = |ln(x / y)|`` for ``x, y > 0``."""
+    x, y = Fraction(x), Fraction(y)
+    if x <= 0 or y <= 0:
+        raise ValueError("the RP metric requires strictly positive values")
+    low, high = log_ratio_enclosure(x, y, terms)
+    if low >= 0:
+        return low, high
+    if high <= 0:
+        return -high, -low
+    return Fraction(0), max(-low, high)
+
+
+def exp_enclosure(value: Fraction, terms: int = DEFAULT_SERIES_TERMS) -> Tuple[Fraction, Fraction]:
+    """A rational interval ``[lo, hi]`` with ``lo <= exp(value) <= hi``."""
+    value = Fraction(value)
+    # Argument reduction: exp(x) = exp(x / 2^k)^(2^k) with |x / 2^k| <= 1/2.
+    k = 0
+    reduced = value
+    while abs(reduced) > Fraction(1, 2):
+        reduced /= 2
+        k += 1
+    total = Fraction(1)
+    term = Fraction(1)
+    for i in range(1, terms + 1):
+        term = term * reduced / i
+        total += term
+    # Remainder for |reduced| <= 1/2: |R| <= |term| * |reduced| / (1 - |reduced|) <= |term|.
+    remainder = abs(term) * abs(reduced) / (1 - abs(reduced))
+    low, high = total - remainder, total + remainder
+    if low < 0:
+        low = Fraction(0)
+    for _ in range(k):
+        low, high = low * low, high * high
+    return low, high
+
+
+def expm1_upper(value: Fraction, terms: int = DEFAULT_SERIES_TERMS) -> Fraction:
+    """A rational upper bound on ``e^value - 1`` (for converting RP to relative error)."""
+    _, high = exp_enclosure(value, terms)
+    return high - 1
+
+
+def expm1_lower(value: Fraction, terms: int = DEFAULT_SERIES_TERMS) -> Fraction:
+    """A rational lower bound on ``e^value - 1``."""
+    low, _ = exp_enclosure(value, terms)
+    return low - 1

@@ -1,0 +1,132 @@
+"""IEEE 754 floating-point format parameters (Table 1 of the paper).
+
+A :class:`FloatFormat` captures the parameters of a binary floating-point
+number system ``F``: numbers of the form ``(-1)^s * m * β^(e - p + 1)`` with
+base ``β = 2``, precision ``p``, significand ``m ∈ [0, 2^p)`` and exponent
+``e ∈ [emin, emax]`` (Equation (1) of the paper).  All derived quantities are
+exact :class:`~fractions.Fraction` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List
+
+__all__ = [
+    "FloatFormat",
+    "BINARY32",
+    "BINARY64",
+    "BINARY128",
+    "STANDARD_FORMATS",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Parameters of a binary IEEE 754 format."""
+
+    name: str
+    precision: int  # p: number of significand bits (including the hidden bit)
+    emax: int       # maximum exponent
+
+    @property
+    def emin(self) -> int:
+        """Minimum exponent; the standard sets ``emin = 1 - emax``."""
+        return 1 - self.emax
+
+    @property
+    def base(self) -> int:
+        return 2
+
+    @property
+    def unit_roundoff_directed(self) -> Fraction:
+        """Unit roundoff ``β^(1-p)`` for the directed rounding modes (Table 2)."""
+        return Fraction(1, 2 ** (self.precision - 1))
+
+    @property
+    def unit_roundoff_nearest(self) -> Fraction:
+        """Unit roundoff ``(1/2) β^(1-p)`` for round-to-nearest (Table 2)."""
+        return Fraction(1, 2 ** self.precision)
+
+    def unit_roundoff(self, mode_is_directed: bool = True) -> Fraction:
+        if mode_is_directed:
+            return self.unit_roundoff_directed
+        return self.unit_roundoff_nearest
+
+    @property
+    def smallest_normal(self) -> Fraction:
+        """``2^emin``, the smallest positive normal number."""
+        return _pow2(self.emin)
+
+    @property
+    def smallest_subnormal(self) -> Fraction:
+        """``2^(emin - p + 1)``, the smallest positive subnormal number."""
+        return _pow2(self.emin - self.precision + 1)
+
+    @property
+    def largest_finite(self) -> Fraction:
+        """``(2 - 2^(1-p)) * 2^emax``, the largest finite number."""
+        return (Fraction(2) - self.unit_roundoff_directed) * _pow2(self.emax)
+
+    def is_representable(self, value: Fraction) -> bool:
+        """Exact membership test ``value ∈ F`` (zero included, infinities excluded)."""
+        value = Fraction(value)
+        if value == 0:
+            return True
+        magnitude = abs(value)
+        if magnitude > self.largest_finite:
+            return False
+        # Write magnitude = m * 2^(e - p + 1) with e >= emin and m an integer < 2^p.
+        from .exactmath import floor_log2
+
+        exponent = max(floor_log2(magnitude), self.emin)
+        quantum = _pow2(exponent - self.precision + 1)
+        quotient = magnitude / quantum
+        return quotient.denominator == 1 and quotient.numerator < 2 ** self.precision
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "precision": self.precision,
+            "emax": self.emax,
+            "emin": self.emin,
+            "unit_roundoff_directed": self.unit_roundoff_directed,
+            "unit_roundoff_nearest": self.unit_roundoff_nearest,
+            "largest_finite": self.largest_finite,
+            "smallest_normal": self.smallest_normal,
+            "smallest_subnormal": self.smallest_subnormal,
+        }
+
+
+def _pow2(exponent: int) -> Fraction:
+    if exponent >= 0:
+        return Fraction(2 ** exponent)
+    return Fraction(1, 2 ** (-exponent))
+
+
+BINARY32 = FloatFormat("binary32", precision=24, emax=127)
+BINARY64 = FloatFormat("binary64", precision=53, emax=1023)
+BINARY128 = FloatFormat("binary128", precision=113, emax=16383)
+
+STANDARD_FORMATS = {
+    "binary32": BINARY32,
+    "binary64": BINARY64,
+    "binary128": BINARY128,
+}
+
+
+def format_table() -> List[Dict[str, object]]:
+    """Regenerate Table 1 of the paper (format parameters)."""
+    rows = []
+    for fmt in (BINARY32, BINARY64, BINARY128):
+        rows.append(
+            {
+                "format": fmt.name,
+                "p": fmt.precision,
+                "emax": fmt.emax,
+                "emin": fmt.emin,
+            }
+        )
+    return rows

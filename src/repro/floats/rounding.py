@@ -1,0 +1,197 @@
+"""Rounding operators (Table 2 of the paper).
+
+Two flavours are provided:
+
+* :func:`round_to_precision` — rounding to ``p`` significant bits with an
+  *unbounded* exponent range.  This is the rounding operator ``ρ`` used by the
+  standard model of Equation (2) and by the core Λnum floating-point
+  semantics, which (like the paper's Sections 5–6) assumes no underflow or
+  overflow.
+* :func:`round_to_format` — full IEEE-754 rounding to a
+  :class:`~repro.floats.formats.FloatFormat`, including subnormal numbers and
+  overflow detection.  The exceptional semantics of Section 7.1 uses this
+  operator; overflow and underflow-to-zero are reported as exceptional.
+
+All arithmetic is exact on :class:`~fractions.Fraction` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional
+
+from .exactmath import floor_log2
+from .formats import BINARY64, FloatFormat
+
+__all__ = [
+    "RoundingMode",
+    "RoundResult",
+    "round_integer",
+    "round_to_precision",
+    "round_to_format",
+    "unit_roundoff",
+    "make_rounder",
+    "rounding_mode_table",
+]
+
+
+class RoundingMode(Enum):
+    """The four IEEE 754 rounding-direction attributes."""
+
+    TOWARD_POSITIVE = "RU"   # round towards +∞
+    TOWARD_NEGATIVE = "RD"   # round towards −∞
+    TOWARD_ZERO = "RZ"       # round towards 0
+    NEAREST_EVEN = "RN"      # round to nearest, ties to even
+
+    @property
+    def is_directed(self) -> bool:
+        return self is not RoundingMode.NEAREST_EVEN
+
+    @staticmethod
+    def from_string(label: str) -> "RoundingMode":
+        label = label.upper()
+        for mode in RoundingMode:
+            if mode.value == label or mode.name == label:
+                return mode
+        raise ValueError(f"unknown rounding mode {label!r}")
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Outcome of a format-aware rounding."""
+
+    value: Optional[Fraction]
+    inexact: bool = False
+    underflow: bool = False
+    overflow: bool = False
+
+    @property
+    def is_exceptional(self) -> bool:
+        """Overflow, or underflow all the way to zero from a nonzero input."""
+        return self.overflow or (self.underflow and self.value == 0)
+
+
+def _pow2(exponent: int) -> Fraction:
+    if exponent >= 0:
+        return Fraction(1 << exponent)
+    return Fraction(1, 1 << (-exponent))
+
+
+def round_integer(value: Fraction, mode: RoundingMode) -> int:
+    """Round a rational to an integer in the given direction."""
+    value = Fraction(value)
+    floor_value = value.numerator // value.denominator
+    if value.denominator == 1:
+        return value.numerator
+    if mode is RoundingMode.TOWARD_NEGATIVE:
+        return floor_value
+    if mode is RoundingMode.TOWARD_POSITIVE:
+        return floor_value + 1
+    if mode is RoundingMode.TOWARD_ZERO:
+        return floor_value if value >= 0 else floor_value + 1
+    # Round to nearest, ties to even.
+    fractional = value - floor_value
+    if fractional > Fraction(1, 2):
+        return floor_value + 1
+    if fractional < Fraction(1, 2):
+        return floor_value
+    return floor_value if floor_value % 2 == 0 else floor_value + 1
+
+
+def round_to_precision(
+    value: Fraction, precision: int = 53, mode: RoundingMode = RoundingMode.TOWARD_POSITIVE
+) -> Fraction:
+    """Round ``value`` to ``precision`` significant bits (unbounded exponent)."""
+    value = Fraction(value)
+    if value == 0:
+        return value
+    magnitude = abs(value)
+    exponent = floor_log2(magnitude)
+    quantum = _pow2(exponent - precision + 1)
+    scaled = value / quantum
+    rounded = round_integer(scaled, mode)
+    return Fraction(rounded) * quantum
+
+
+def round_to_format(
+    value: Fraction,
+    fmt: FloatFormat = BINARY64,
+    mode: RoundingMode = RoundingMode.TOWARD_POSITIVE,
+) -> RoundResult:
+    """Full IEEE-754 rounding of ``value`` into format ``fmt``.
+
+    Returns a :class:`RoundResult`; ``value`` is ``None`` on overflow to
+    infinity.  Subnormal results set the ``underflow`` flag (tininess after
+    rounding, as in the standard).
+    """
+    value = Fraction(value)
+    if value == 0:
+        return RoundResult(Fraction(0))
+    magnitude = abs(value)
+    exponent = max(floor_log2(magnitude), fmt.emin)
+    quantum = _pow2(exponent - fmt.precision + 1)
+    scaled = value / quantum
+    rounded_int = round_integer(scaled, mode)
+    result = Fraction(rounded_int) * quantum
+    inexact = result != value
+
+    # Overflow handling.
+    if abs(result) > fmt.largest_finite:
+        overflowed_to_infinity = (
+            mode is RoundingMode.NEAREST_EVEN
+            or (mode is RoundingMode.TOWARD_POSITIVE and value > 0)
+            or (mode is RoundingMode.TOWARD_NEGATIVE and value < 0)
+        )
+        if overflowed_to_infinity:
+            return RoundResult(None, inexact=True, overflow=True)
+        saturated = fmt.largest_finite if value > 0 else -fmt.largest_finite
+        return RoundResult(saturated, inexact=True, overflow=False)
+
+    underflow = abs(result) < fmt.smallest_normal and inexact
+    return RoundResult(result, inexact=inexact, underflow=underflow)
+
+
+def unit_roundoff(precision: int, mode: RoundingMode) -> Fraction:
+    """The unit roundoff column of Table 2."""
+    directed = Fraction(1, 2 ** (precision - 1))
+    if mode is RoundingMode.NEAREST_EVEN:
+        return directed / 2
+    return directed
+
+
+def make_rounder(
+    precision: int = 53, mode: RoundingMode = RoundingMode.TOWARD_POSITIVE
+) -> Callable[[Fraction], Fraction]:
+    """A unary rounding function ``ρ`` suitable for the Λnum FP semantics."""
+
+    def rounder(value: Fraction) -> Fraction:
+        return round_to_precision(value, precision, mode)
+
+    return rounder
+
+
+def rounding_mode_table(precision: int = 53) -> List[Dict[str, object]]:
+    """Regenerate Table 2 of the paper (rounding modes and unit roundoffs)."""
+    rows = []
+    descriptions = {
+        RoundingMode.TOWARD_POSITIVE: "min { y in F | y >= x }",
+        RoundingMode.TOWARD_NEGATIVE: "max { y in F | y <= x }",
+        RoundingMode.TOWARD_ZERO: "RU(x) if x < 0 else RD(x)",
+        RoundingMode.NEAREST_EVEN: "y in F minimizing |x - y| (ties to even)",
+    }
+    for mode in (
+        RoundingMode.TOWARD_POSITIVE,
+        RoundingMode.TOWARD_NEGATIVE,
+        RoundingMode.TOWARD_ZERO,
+        RoundingMode.NEAREST_EVEN,
+    ):
+        rows.append(
+            {
+                "mode": mode.value,
+                "behaviour": descriptions[mode],
+                "unit_roundoff": unit_roundoff(precision, mode),
+            }
+        )
+    return rows

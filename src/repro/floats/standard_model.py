@@ -1,0 +1,81 @@
+"""The standard model of floating-point arithmetic (Equation (2)).
+
+``x ~op y = (x op y)(1 + δ)`` with ``|δ| ≤ u`` where ``u`` is the unit
+roundoff.  The helpers here are used by the baseline analysers and by tests
+that validate the rounding operators against the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable
+
+from .formats import BINARY64, FloatFormat
+from .rounding import RoundingMode, round_to_precision
+
+__all__ = ["StandardModel", "fp_add", "fp_mul", "fp_div", "fp_sqrt", "relative_error"]
+
+
+def relative_error(exact: Fraction, approx: Fraction) -> Fraction:
+    """``|approx - exact| / |exact|`` (Equation (3)); exact must be nonzero."""
+    exact, approx = Fraction(exact), Fraction(approx)
+    if exact == 0:
+        raise ZeroDivisionError("relative error is undefined for a zero exact value")
+    return abs(approx - exact) / abs(exact)
+
+
+@dataclass(frozen=True)
+class StandardModel:
+    """Correctly rounded arithmetic for a given format and rounding mode."""
+
+    fmt: FloatFormat = BINARY64
+    mode: RoundingMode = RoundingMode.TOWARD_POSITIVE
+
+    @property
+    def unit_roundoff(self) -> Fraction:
+        return self.fmt.unit_roundoff(self.mode.is_directed)
+
+    def round(self, value: Fraction) -> Fraction:
+        return round_to_precision(value, self.fmt.precision, self.mode)
+
+    def add(self, x: Fraction, y: Fraction) -> Fraction:
+        return self.round(Fraction(x) + Fraction(y))
+
+    def mul(self, x: Fraction, y: Fraction) -> Fraction:
+        return self.round(Fraction(x) * Fraction(y))
+
+    def div(self, x: Fraction, y: Fraction) -> Fraction:
+        return self.round(Fraction(x) / Fraction(y))
+
+    def sqrt(self, x: Fraction) -> Fraction:
+        from .exactmath import sqrt_round
+
+        mode_label = {"RU": "RU", "RD": "RD", "RZ": "RZ", "RN": "RN"}[self.mode.value]
+        return sqrt_round(Fraction(x), self.fmt.precision, mode_label)
+
+    def delta(self, exact: Fraction) -> Fraction:
+        """The realised ``δ`` with ``round(exact) = exact (1 + δ)``."""
+        exact = Fraction(exact)
+        if exact == 0:
+            return Fraction(0)
+        return (self.round(exact) - exact) / exact
+
+
+_DEFAULT = StandardModel()
+
+
+def fp_add(x: Fraction, y: Fraction, model: StandardModel = _DEFAULT) -> Fraction:
+    return model.add(x, y)
+
+
+def fp_mul(x: Fraction, y: Fraction, model: StandardModel = _DEFAULT) -> Fraction:
+    return model.mul(x, y)
+
+
+def fp_div(x: Fraction, y: Fraction, model: StandardModel = _DEFAULT) -> Fraction:
+    return model.div(x, y)
+
+
+def fp_sqrt(x: Fraction, model: StandardModel = _DEFAULT) -> Fraction:
+    return model.sqrt(x)

@@ -1,0 +1,83 @@
+"""ULP error and bits of error (Equation (4) of the paper).
+
+The units-in-the-last-place error counts the number of floating-point values
+between an approximate and an exact value; its base-2 logarithm is the "bits
+of error".  These measures are used by accuracy-optimisation tools such as
+Herbie and STOKE; we provide them to instantiate Λnum's numeric metric with
+alternative error measures.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from .exactmath import floor_log2
+from .formats import BINARY64, FloatFormat
+from .rounding import RoundingMode, round_to_format
+
+__all__ = ["float_index", "ulp_error", "bits_of_error", "ulp"]
+
+
+def _pow2(exponent: int) -> Fraction:
+    if exponent >= 0:
+        return Fraction(1 << exponent)
+    return Fraction(1, 1 << (-exponent))
+
+
+def ulp(value: Fraction, fmt: FloatFormat = BINARY64) -> Fraction:
+    """The unit in the last place at ``value`` (spacing of the grid around it)."""
+    value = Fraction(value)
+    if value == 0:
+        return fmt.smallest_subnormal
+    exponent = max(floor_log2(abs(value)), fmt.emin)
+    return _pow2(exponent - fmt.precision + 1)
+
+
+def float_index(value: Fraction, fmt: FloatFormat = BINARY64) -> Fraction:
+    """A monotone map from non-negative reals to a (fractional) float ordinal.
+
+    For representable values the index is an integer equal to the number of
+    floating-point values in ``(0, value]``; for other values it interpolates
+    linearly, which is enough to count grid points between two reals.
+    """
+    value = Fraction(value)
+    if value < 0:
+        raise ValueError("float_index is defined for non-negative values")
+    if value == 0:
+        return Fraction(0)
+    exponent = max(floor_log2(value), fmt.emin)
+    quantum = _pow2(exponent - fmt.precision + 1)
+    # Number of grid points in (0, 2^exponent]: subnormals plus full binades.
+    binades_below = exponent - fmt.emin
+    points_below = Fraction(2 ** (fmt.precision - 1)) * (binades_below + 1)
+    return points_below + (value - _pow2(exponent)) / quantum
+
+
+def ulp_error(exact: Fraction, approx: Fraction, fmt: FloatFormat = BINARY64) -> Fraction:
+    """The ULP error ``|F ∩ [min(x, x̃), max(x, x̃)]|`` measured continuously."""
+    exact, approx = Fraction(exact), Fraction(approx)
+    if exact < 0 or approx < 0:
+        # Mirror negative values; the grid is symmetric.
+        if exact <= 0 and approx <= 0:
+            return ulp_error(-exact, -approx, fmt)
+        # Values straddling zero: count both sides.
+        return ulp_error(Fraction(0), abs(exact), fmt) + ulp_error(Fraction(0), abs(approx), fmt)
+    low, high = min(exact, approx), max(exact, approx)
+    return float_index(high, fmt) - float_index(low, fmt)
+
+
+def bits_of_error(exact: Fraction, approx: Fraction, fmt: FloatFormat = BINARY64) -> float:
+    """``log2`` of the ULP error (Equation (4)); 0 when the values coincide."""
+    error = ulp_error(exact, approx, fmt)
+    if error <= 0:
+        return 0.0
+    return math.log2(float(error)) if error > 1 else float(error)
+
+
+def nearest_float(value: Fraction, fmt: FloatFormat = BINARY64) -> Fraction:
+    """The representable value nearest to ``value`` (ties to even)."""
+    result = round_to_format(value, fmt, RoundingMode.NEAREST_EVEN)
+    if result.value is None:
+        raise OverflowError("value overflows the target format")
+    return result.value

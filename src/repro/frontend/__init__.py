@@ -1,0 +1,49 @@
+"""Expression-level frontend: the FPCore-style IR and its Λnum compiler."""
+
+from . import expr
+from .compiler import CompileError, CompiledProgram, compile_expression
+from .expr import (
+    Add,
+    Comparison,
+    Cond,
+    Const,
+    Div,
+    Fma,
+    Mul,
+    RealExpr,
+    Sqrt,
+    Sub,
+    Var,
+    arithmetic_operation_count,
+    evaluate_exact,
+    evaluate_fp,
+    free_variables,
+    operation_count,
+)
+from .fpcore import FPCore, parse_fpcore, parse_sexpr
+
+__all__ = [
+    "expr",
+    "CompileError",
+    "CompiledProgram",
+    "compile_expression",
+    "RealExpr",
+    "Var",
+    "Const",
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Sqrt",
+    "Fma",
+    "Cond",
+    "Comparison",
+    "evaluate_exact",
+    "evaluate_fp",
+    "free_variables",
+    "operation_count",
+    "arithmetic_operation_count",
+    "FPCore",
+    "parse_fpcore",
+    "parse_sexpr",
+]

@@ -1,0 +1,49 @@
+"""Extended pseudo-metric spaces and the constructions interpreting Λnum types."""
+
+from .base import Enclosure, INFINITE_DISTANCE, Metric, MetricSpace, is_infinite
+from .numeric import (
+    ABS_METRIC,
+    AbsoluteErrorMetric,
+    DiscreteMetric,
+    RelativeErrorDistance,
+    RelativePrecisionMetric,
+    RP_METRIC,
+    UlpDistance,
+)
+from .spaces import (
+    CoproductSpace,
+    FunctionSpace,
+    NeighborhoodSpace,
+    ProductSpace,
+    ScaledSpace,
+    SingletonSpace,
+    TensorSpace,
+    is_non_expansive,
+    sensitivity_estimate,
+)
+from .interpretation import space_of_type
+
+__all__ = [
+    "Enclosure",
+    "INFINITE_DISTANCE",
+    "Metric",
+    "MetricSpace",
+    "is_infinite",
+    "RelativePrecisionMetric",
+    "AbsoluteErrorMetric",
+    "RelativeErrorDistance",
+    "UlpDistance",
+    "DiscreteMetric",
+    "RP_METRIC",
+    "ABS_METRIC",
+    "SingletonSpace",
+    "ProductSpace",
+    "TensorSpace",
+    "CoproductSpace",
+    "ScaledSpace",
+    "NeighborhoodSpace",
+    "FunctionSpace",
+    "is_non_expansive",
+    "sensitivity_estimate",
+    "space_of_type",
+]

@@ -1,0 +1,94 @@
+"""Extended pseudo-metric spaces (Definition 4.1).
+
+An extended pseudo-metric space is a carrier set together with a distance
+``d : A × A → [0, ∞]`` satisfying reflexivity (``d(a, a) = 0``), symmetry and
+the triangle inequality.  Distances may be infinite, and distinct points may
+be at distance zero.
+
+Because the relative-precision metric involves a logarithm, exact distances
+are generally irrational.  Every metric therefore exposes two views:
+
+* :meth:`Metric.distance` — a ``float`` approximation, convenient for quick
+  inspection and plots;
+* :meth:`Metric.distance_enclosure` — a pair of :class:`~fractions.Fraction`
+  bounds ``(lo, hi)`` with ``lo ≤ d(a, b) ≤ hi``, used whenever a *sound*
+  comparison against a type-level grade is required.
+
+The special value :data:`INFINITE_DISTANCE` stands for ``∞`` in enclosures.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Tuple
+
+__all__ = ["Metric", "MetricSpace", "INFINITE_DISTANCE", "Enclosure", "is_infinite"]
+
+#: Sentinel used inside enclosures for an infinite distance.
+INFINITE_DISTANCE = float("inf")
+
+#: A rational enclosure of a distance; either endpoint may be ``inf``.
+Enclosure = Tuple[object, object]
+
+
+def is_infinite(bound: object) -> bool:
+    return isinstance(bound, float) and bound == INFINITE_DISTANCE
+
+
+class Metric:
+    """A distance function over some carrier of Python values."""
+
+    def contains(self, point: Any) -> bool:
+        """Membership test for the carrier set."""
+        raise NotImplementedError
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        """A rigorous enclosure ``(lo, hi)`` of ``d(a, b)``."""
+        raise NotImplementedError
+
+    def distance(self, a: Any, b: Any) -> float:
+        low, high = self.distance_enclosure(a, b)
+        if is_infinite(high):
+            return INFINITE_DISTANCE
+        return float(Fraction(low) + Fraction(high)) / 2 if low != high else float(high)
+
+    # -- helpers used by tests and by the soundness checker -----------------
+
+    def within(self, a: Any, b: Any, bound: Fraction) -> bool:
+        """Soundly decide ``d(a, b) ≤ bound`` (using the upper enclosure)."""
+        _, high = self.distance_enclosure(a, b)
+        if is_infinite(high):
+            return False
+        return Fraction(high) <= Fraction(bound)
+
+    def exceeds(self, a: Any, b: Any, bound: Fraction) -> bool:
+        """Soundly decide ``d(a, b) > bound`` (using the lower enclosure)."""
+        low, _ = self.distance_enclosure(a, b)
+        if is_infinite(low):
+            return True
+        return Fraction(low) > Fraction(bound)
+
+
+#: Alias kept for readability: a metric space is represented by its metric,
+#: whose :meth:`Metric.contains` method describes the carrier.
+MetricSpace = Metric
+
+
+def add_bounds(a: object, b: object) -> object:
+    """Addition on ``[0, ∞]`` endpoints."""
+    if is_infinite(a) or is_infinite(b):
+        return INFINITE_DISTANCE
+    return Fraction(a) + Fraction(b)
+
+
+def max_bounds(a: object, b: object) -> object:
+    if is_infinite(a) or is_infinite(b):
+        return INFINITE_DISTANCE
+    return max(Fraction(a), Fraction(b))
+
+
+def scale_bound(factor: Fraction, bound: object) -> object:
+    """Scalar multiplication on ``[0, ∞]`` with the convention ``0 * ∞ = 0``."""
+    if is_infinite(bound):
+        return Fraction(0) if factor == 0 else INFINITE_DISTANCE
+    return Fraction(factor) * Fraction(bound)

@@ -1,0 +1,64 @@
+"""Interpretation of Λnum types as metric spaces (Definition 4.8).
+
+``space_of_type`` maps every Λnum type to the metric space that interprets it
+in **Met**, parameterised by the numeric metric chosen for ``num`` (the RP
+metric by default).  Function types need probe points to approximate the sup
+metric; callers that only need first-order types can ignore that parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core import types as T
+from .base import Metric
+from .numeric import RP_METRIC
+from .spaces import (
+    CoproductSpace,
+    FunctionSpace,
+    NeighborhoodSpace,
+    ProductSpace,
+    ScaledSpace,
+    SingletonSpace,
+    TensorSpace,
+)
+
+__all__ = ["space_of_type"]
+
+
+def space_of_type(
+    tau: T.Type,
+    numeric_metric: Metric = RP_METRIC,
+    probes: Sequence[Any] = (),
+) -> Metric:
+    """The metric space ``⟦τ⟧`` interpreting the type ``τ``."""
+    if isinstance(tau, T.Unit):
+        return SingletonSpace()
+    if isinstance(tau, T.Num):
+        return numeric_metric
+    if isinstance(tau, T.WithProduct):
+        return ProductSpace(
+            space_of_type(tau.left, numeric_metric, probes),
+            space_of_type(tau.right, numeric_metric, probes),
+        )
+    if isinstance(tau, T.TensorProduct):
+        return TensorSpace(
+            space_of_type(tau.left, numeric_metric, probes),
+            space_of_type(tau.right, numeric_metric, probes),
+        )
+    if isinstance(tau, T.SumType):
+        return CoproductSpace(
+            space_of_type(tau.left, numeric_metric, probes),
+            space_of_type(tau.right, numeric_metric, probes),
+        )
+    if isinstance(tau, T.Arrow):
+        return FunctionSpace(
+            space_of_type(tau.argument, numeric_metric, probes),
+            space_of_type(tau.result, numeric_metric, probes),
+            probes,
+        )
+    if isinstance(tau, T.Bang):
+        return ScaledSpace(tau.sensitivity, space_of_type(tau.inner, numeric_metric, probes))
+    if isinstance(tau, T.Monadic):
+        return NeighborhoodSpace(tau.grade, space_of_type(tau.inner, numeric_metric, probes))
+    raise TypeError(f"unknown type {tau!r}")

@@ -1,0 +1,131 @@
+"""Numeric metrics used to instantiate the ``num`` type.
+
+The paper's leading instantiation interprets ``num`` as the strictly positive
+reals with Olver's relative-precision metric ``RP(x, y) = |ln(x / y)|``
+(Definition 2.2).  We also provide the absolute-error metric, the
+relative-error "distance" and a ULP-based distance so the framework can be
+instantiated with other error measures (Section 2.1 and Section 8 discuss
+these alternatives; note that relative error and ULP error are *not* true
+metrics — the property tests demonstrate exactly which axioms fail).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from ..floats.exactmath import rp_distance_enclosure
+from ..floats.formats import BINARY64, FloatFormat
+from ..floats.ulp import ulp_error
+from .base import Enclosure, INFINITE_DISTANCE, Metric
+
+__all__ = [
+    "RelativePrecisionMetric",
+    "AbsoluteErrorMetric",
+    "RelativeErrorDistance",
+    "UlpDistance",
+    "DiscreteMetric",
+    "RP_METRIC",
+    "ABS_METRIC",
+]
+
+
+def _as_fraction(value: Any) -> Fraction:
+    return value if isinstance(value, Fraction) else Fraction(value)
+
+
+class RelativePrecisionMetric(Metric):
+    """Olver's relative-precision metric on the strictly positive reals."""
+
+    def contains(self, point: Any) -> bool:
+        try:
+            return _as_fraction(point) > 0
+        except (TypeError, ValueError):
+            return False
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        a, b = _as_fraction(a), _as_fraction(b)
+        if a <= 0 or b <= 0:
+            return (INFINITE_DISTANCE, INFINITE_DISTANCE)
+        if a == b:
+            return (Fraction(0), Fraction(0))
+        return rp_distance_enclosure(a, b)
+
+
+class AbsoluteErrorMetric(Metric):
+    """The absolute-error metric ``|x - y|`` on all reals (Equation (3))."""
+
+    def contains(self, point: Any) -> bool:
+        try:
+            _as_fraction(point)
+            return True
+        except (TypeError, ValueError):
+            return False
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        value = abs(_as_fraction(a) - _as_fraction(b))
+        return (value, value)
+
+
+class RelativeErrorDistance(Metric):
+    """The relative error ``|x - y| / |x|`` (Equation (3)).
+
+    This is *not* a metric (it is asymmetric and fails the triangle
+    inequality); it is provided for comparison and for converting bounds.
+    The first argument is treated as the reference (exact) value.
+    """
+
+    def contains(self, point: Any) -> bool:
+        try:
+            return _as_fraction(point) != 0
+        except (TypeError, ValueError):
+            return False
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        a, b = _as_fraction(a), _as_fraction(b)
+        if a == 0:
+            return (INFINITE_DISTANCE, INFINITE_DISTANCE)
+        value = abs(b - a) / abs(a)
+        return (value, value)
+
+
+class UlpDistance(Metric):
+    """ULP error with respect to a floating-point format (Equation (4)).
+
+    Like relative error this is not a true metric, but it induces a useful
+    distance for comparing against accuracy-optimisation tools.
+    """
+
+    def __init__(self, fmt: FloatFormat = BINARY64) -> None:
+        self.fmt = fmt
+
+    def contains(self, point: Any) -> bool:
+        try:
+            _as_fraction(point)
+            return True
+        except (TypeError, ValueError):
+            return False
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        value = ulp_error(_as_fraction(a), _as_fraction(b), self.fmt)
+        return (value, value)
+
+
+class DiscreteMetric(Metric):
+    """The 0/∞ metric: distance zero iff the points are equal.
+
+    This is the metric on the unit type and on each summand's tag in the
+    coproduct construction.
+    """
+
+    def contains(self, point: Any) -> bool:
+        return True
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        if a == b:
+            return (Fraction(0), Fraction(0))
+        return (INFINITE_DISTANCE, INFINITE_DISTANCE)
+
+
+RP_METRIC = RelativePrecisionMetric()
+ABS_METRIC = AbsoluteErrorMetric()

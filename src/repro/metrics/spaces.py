@@ -1,0 +1,255 @@
+"""Constructions on metric spaces used to interpret Λnum types (Section 4.1).
+
+The category **Met** of extended pseudo-metric spaces and non-expansive maps
+supports the following constructions, all mirrored here:
+
+* :class:`SingletonSpace` — the unit object ``I``;
+* :class:`ProductSpace` — the Cartesian product ``×`` with the *max* metric;
+* :class:`TensorSpace` — the tensor product ``⊗`` with the *sum* metric;
+* :class:`CoproductSpace` — the coproduct ``+`` (different injections are at
+  infinite distance);
+* :class:`ScaledSpace` — the graded comonad ``D_s`` scaling the metric by ``s``
+  (Definition 4.2);
+* :class:`NeighborhoodSpace` — the graded monad ``T_r`` whose points are pairs
+  ``(ideal, approx)`` at distance ≤ r, with distances measured on the first
+  component (Definition 4.3);
+* :class:`FunctionSpace` — the internal hom ``⊸`` with the sup metric,
+  approximated over a finite set of probe points (sufficient for the law and
+  non-expansiveness tests).
+
+Values in product/tensor spaces are Python pairs ``(a, b)``; coproduct values
+are tagged pairs ``("inl", a)`` / ``("inr", b)``; neighborhood values are
+pairs ``(ideal, approx)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Iterable, Sequence, Tuple
+
+from ..core.grades import Grade, GradeLike, as_grade
+from .base import (
+    Enclosure,
+    INFINITE_DISTANCE,
+    Metric,
+    add_bounds,
+    is_infinite,
+    max_bounds,
+    scale_bound,
+)
+
+__all__ = [
+    "SingletonSpace",
+    "ProductSpace",
+    "TensorSpace",
+    "CoproductSpace",
+    "ScaledSpace",
+    "NeighborhoodSpace",
+    "FunctionSpace",
+    "is_non_expansive",
+    "sensitivity_estimate",
+]
+
+
+class SingletonSpace(Metric):
+    """The one-point space ``I = ({*}, 0)``."""
+
+    POINT = "*"
+
+    def contains(self, point: Any) -> bool:
+        return point == self.POINT or point is None
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        return (Fraction(0), Fraction(0))
+
+
+class ProductSpace(Metric):
+    """Cartesian product with the max metric (interprets ``×``)."""
+
+    def __init__(self, left: Metric, right: Metric) -> None:
+        self.left = left
+        self.right = right
+
+    def contains(self, point: Any) -> bool:
+        return (
+            isinstance(point, tuple)
+            and len(point) == 2
+            and self.left.contains(point[0])
+            and self.right.contains(point[1])
+        )
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        left_lo, left_hi = self.left.distance_enclosure(a[0], b[0])
+        right_lo, right_hi = self.right.distance_enclosure(a[1], b[1])
+        return (max_bounds(left_lo, right_lo), max_bounds(left_hi, right_hi))
+
+
+class TensorSpace(Metric):
+    """Tensor product with the sum metric (interprets ``⊗``)."""
+
+    def __init__(self, left: Metric, right: Metric) -> None:
+        self.left = left
+        self.right = right
+
+    def contains(self, point: Any) -> bool:
+        return (
+            isinstance(point, tuple)
+            and len(point) == 2
+            and self.left.contains(point[0])
+            and self.right.contains(point[1])
+        )
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        left_lo, left_hi = self.left.distance_enclosure(a[0], b[0])
+        right_lo, right_hi = self.right.distance_enclosure(a[1], b[1])
+        return (add_bounds(left_lo, right_lo), add_bounds(left_hi, right_hi))
+
+
+class CoproductSpace(Metric):
+    """Coproduct: elements of different injections are infinitely far apart."""
+
+    def __init__(self, left: Metric, right: Metric) -> None:
+        self.left = left
+        self.right = right
+
+    def contains(self, point: Any) -> bool:
+        if not (isinstance(point, tuple) and len(point) == 2):
+            return False
+        tag, value = point
+        if tag == "inl":
+            return self.left.contains(value)
+        if tag == "inr":
+            return self.right.contains(value)
+        return False
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        tag_a, value_a = a
+        tag_b, value_b = b
+        if tag_a != tag_b:
+            return (INFINITE_DISTANCE, INFINITE_DISTANCE)
+        side = self.left if tag_a == "inl" else self.right
+        return side.distance_enclosure(value_a, value_b)
+
+
+class ScaledSpace(Metric):
+    """The graded comonad ``D_s``: same carrier, metric scaled by ``s``."""
+
+    def __init__(self, scale: GradeLike, inner: Metric) -> None:
+        self.scale: Grade = as_grade(scale)
+        self.inner = inner
+
+    def contains(self, point: Any) -> bool:
+        return self.inner.contains(point)
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        lo, hi = self.inner.distance_enclosure(a, b)
+        if self.scale.is_infinite:
+            zero = Fraction(0)
+            lo_scaled = zero if (not is_infinite(lo) and Fraction(lo) == 0) else INFINITE_DISTANCE
+            hi_scaled = zero if (not is_infinite(hi) and Fraction(hi) == 0) else INFINITE_DISTANCE
+            return (lo_scaled, hi_scaled)
+        factor = self.scale.evaluate()
+        return (scale_bound(factor, lo), scale_bound(factor, hi))
+
+
+class NeighborhoodSpace(Metric):
+    """The graded monad ``T_r``: pairs (ideal, approx) at distance ≤ r.
+
+    The metric compares only the *ideal* components (Definition 4.3).
+    """
+
+    def __init__(self, grade: GradeLike, inner: Metric) -> None:
+        self.grade: Grade = as_grade(grade)
+        self.inner = inner
+
+    def contains(self, point: Any) -> bool:
+        if not (isinstance(point, tuple) and len(point) == 2):
+            return False
+        ideal, approx = point
+        if not (self.inner.contains(ideal) and self.inner.contains(approx)):
+            return False
+        if self.grade.is_infinite:
+            return True
+        _, high = self.inner.distance_enclosure(ideal, approx)
+        if is_infinite(high):
+            return False
+        return Fraction(high) <= self.grade.evaluate()
+
+    def distance_enclosure(self, a: Any, b: Any) -> Enclosure:
+        return self.inner.distance_enclosure(a[0], b[0])
+
+
+class FunctionSpace(Metric):
+    """The internal hom ``A ⊸ B`` with the sup metric over probe points.
+
+    The true sup metric ranges over the whole carrier of ``A``; for testing
+    purposes we evaluate the sup over a finite, user-supplied family of probe
+    points, which under-approximates the distance (and therefore never makes
+    the triangle-inequality tests spuriously fail).
+    """
+
+    def __init__(self, domain: Metric, codomain: Metric, probes: Sequence[Any]) -> None:
+        self.domain = domain
+        self.codomain = codomain
+        self.probes = list(probes)
+
+    def contains(self, point: Any) -> bool:
+        return callable(point)
+
+    def distance_enclosure(self, f: Callable, g: Callable) -> Enclosure:
+        lo_acc: object = Fraction(0)
+        hi_acc: object = Fraction(0)
+        for probe in self.probes:
+            lo, hi = self.codomain.distance_enclosure(f(probe), g(probe))
+            lo_acc = max_bounds(lo_acc, lo)
+            hi_acc = max_bounds(hi_acc, hi)
+        return (lo_acc, hi_acc)
+
+
+# ---------------------------------------------------------------------------
+# Non-expansiveness / sensitivity probing
+# ---------------------------------------------------------------------------
+
+
+def is_non_expansive(
+    func: Callable[[Any], Any],
+    domain: Metric,
+    codomain: Metric,
+    pairs: Iterable[Tuple[Any, Any]],
+) -> bool:
+    """Check ``d(f a, f b) ≤ d(a, b)`` on the supplied pairs (soundly).
+
+    Uses the upper enclosure of the output distance against the lower
+    enclosure of the input distance, so a ``True`` answer can only be wrong in
+    the conservative direction on the probed pairs.
+    """
+    for a, b in pairs:
+        in_lo, _ = domain.distance_enclosure(a, b)
+        _, out_hi = codomain.distance_enclosure(func(a), func(b))
+        if is_infinite(in_lo):
+            continue
+        if is_infinite(out_hi):
+            return False
+        if Fraction(out_hi) > Fraction(in_lo):
+            return False
+    return True
+
+
+def sensitivity_estimate(
+    func: Callable[[Any], Any],
+    domain: Metric,
+    codomain: Metric,
+    pairs: Iterable[Tuple[Any, Any]],
+) -> float:
+    """The largest observed ratio ``d(f a, f b) / d(a, b)`` over the pairs."""
+    worst = 0.0
+    for a, b in pairs:
+        in_dist = domain.distance(a, b)
+        out_dist = codomain.distance(func(a), func(b))
+        if in_dist == 0:
+            continue
+        if is_infinite(in_dist):
+            continue
+        ratio = out_dist / in_dist if in_dist else INFINITE_DISTANCE
+        worst = max(worst, ratio)
+    return worst

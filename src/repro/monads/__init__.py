@@ -1,0 +1,31 @@
+"""The graded neighborhood monad and its Section 7 extensions."""
+
+from .exceptional import EXCEPTIONAL, ExceptionalNeighborhoodMonad
+from .neighborhood import NeighborhoodMonad
+from .nondeterministic import MayNondeterministicMonad, MustNondeterministicMonad
+from .probabilistic import (
+    BestCaseProbabilisticMonad,
+    Distribution,
+    ExpectedProbabilisticMonad,
+    WorstCaseProbabilisticMonad,
+    point_distribution,
+    stochastic_rounding_distribution,
+    uniform_distribution,
+)
+from .state import StateMonad
+
+__all__ = [
+    "NeighborhoodMonad",
+    "EXCEPTIONAL",
+    "ExceptionalNeighborhoodMonad",
+    "MustNondeterministicMonad",
+    "MayNondeterministicMonad",
+    "StateMonad",
+    "Distribution",
+    "point_distribution",
+    "uniform_distribution",
+    "stochastic_rounding_distribution",
+    "WorstCaseProbabilisticMonad",
+    "BestCaseProbabilisticMonad",
+    "ExpectedProbabilisticMonad",
+]

@@ -1,0 +1,101 @@
+"""The exceptional neighborhood monad (Section 7.1).
+
+``T*_r A`` extends the neighborhood monad with a distinguished exceptional
+value ``⋄`` in the *approximate* component: its carrier is
+``{(x, y) ∈ A × (A ∪ {⋄}) | d(x, y) ≤ r or y = ⋄}``.  It models floating-point
+executions that may overflow or underflow: the error bound of Corollary 7.5
+holds whenever the floating-point run does not produce ``err``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+from ..core.grades import GradeLike, as_grade
+from ..metrics.base import Metric, is_infinite
+from fractions import Fraction
+
+__all__ = ["EXCEPTIONAL", "ExceptionalNeighborhoodMonad"]
+
+
+class _Exceptional:
+    """The singleton exceptional value ``⋄``."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<exceptional>"
+
+
+EXCEPTIONAL = _Exceptional()
+
+Pair = Tuple[Any, Any]
+
+
+class ExceptionalNeighborhoodMonad:
+    """The graded monad ``T*_r`` on a base metric space."""
+
+    def __init__(self, base: Metric) -> None:
+        self.base = base
+
+    # -- carrier ---------------------------------------------------------------
+
+    def contains(self, pair: Pair, grade: GradeLike) -> bool:
+        ideal, approx = pair
+        if not self.base.contains(ideal):
+            return False
+        if approx is EXCEPTIONAL:
+            return True
+        if not self.base.contains(approx):
+            return False
+        grade = as_grade(grade)
+        if grade.is_infinite:
+            return True
+        _, high = self.base.distance_enclosure(ideal, approx)
+        if is_infinite(high):
+            return False
+        return Fraction(high) <= grade.evaluate()
+
+    def distance(self, a: Pair, b: Pair):
+        """The metric compares ideal components; anything vs ⋄ is at distance 0."""
+        if a[1] is EXCEPTIONAL or b[1] is EXCEPTIONAL:
+            return (Fraction(0), Fraction(0))
+        return self.base.distance_enclosure(a[0], b[0])
+
+    # -- structure maps -----------------------------------------------------------
+
+    def unit(self, value: Any) -> Pair:
+        return (value, value)
+
+    def map(self, function: Callable[[Any], Any], pair: Pair) -> Pair:
+        ideal, approx = pair
+        if approx is EXCEPTIONAL:
+            return (function(ideal), EXCEPTIONAL)
+        return (function(ideal), function(approx))
+
+    def multiplication(self, nested: Tuple[Pair, Any]) -> Pair:
+        """``μ((x, y), (x', y')) = (x, y')`` and ``μ((x, y), ⋄) = (x, ⋄)``."""
+        ideal_pair, approx_part = nested
+        if approx_part is EXCEPTIONAL:
+            return (ideal_pair[0], EXCEPTIONAL)
+        return (ideal_pair[0], approx_part[1])
+
+    def strength(self, value: Any, pair: Pair) -> Pair:
+        ideal, approx = pair
+        if approx is EXCEPTIONAL:
+            return ((value, ideal), EXCEPTIONAL)
+        return ((value, ideal), (value, approx))
+
+    def bind(self, pair: Pair, function: Callable[[Any], Pair]) -> Pair:
+        """Kleisli extension propagating the exceptional value."""
+        ideal, approx = pair
+        ideal_result = function(ideal)
+        if approx is EXCEPTIONAL:
+            return (ideal_result[0], EXCEPTIONAL)
+        approx_result = function(approx)
+        return self.multiplication((ideal_result, approx_result))

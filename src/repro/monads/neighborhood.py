@@ -1,0 +1,117 @@
+"""The graded neighborhood monad on Met (Definition 4.3).
+
+``T_r A`` has carrier ``{(x, y) ∈ A × A | d_A(x, y) ≤ r}`` — an *ideal* value
+paired with an *approximate* value at distance at most ``r`` — and its metric
+compares the ideal components only.  The associated structure maps are:
+
+* the unit ``η(x) = (x, x) : A → T_0 A``;
+* the graded multiplication ``μ((x, y), (x', y')) = (x, y') : T_q (T_r A) → T_{q+r} A``;
+* subgrading ``T_q A → T_r A`` for ``q ≤ r`` (the identity);
+* the strength ``st(a, (b, b')) = ((a, b), (a, b'))``;
+* the distributive law ``D_s (T_r A) → T_{s·r} (D_s A)`` (the identity map).
+
+These definitions are implemented concretely on Python values so that the
+test suite can check the graded monad laws (Lemma 4.5), non-expansiveness
+(Lemma 4.4) and the distributive law (Lemma 4.7) on concrete metric spaces.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Tuple
+
+from ..core.grades import Grade, GradeLike, as_grade
+from ..metrics.base import Metric, is_infinite
+from ..metrics.spaces import NeighborhoodSpace, ScaledSpace, TensorSpace
+
+__all__ = ["NeighborhoodMonad"]
+
+Pair = Tuple[Any, Any]
+
+
+class NeighborhoodMonad:
+    """The graded neighborhood monad specialised to a base metric space."""
+
+    def __init__(self, base: Metric) -> None:
+        self.base = base
+
+    # -- carrier ------------------------------------------------------------
+
+    def space(self, grade: GradeLike) -> NeighborhoodSpace:
+        """The metric space ``T_r(base)``."""
+        return NeighborhoodSpace(as_grade(grade), self.base)
+
+    def contains(self, pair: Pair, grade: GradeLike) -> bool:
+        """Is ``pair`` an element of ``T_r(base)``?"""
+        return self.space(grade).contains(pair)
+
+    # -- structure maps -------------------------------------------------------
+
+    def unit(self, value: Any) -> Pair:
+        """``η(x) = (x, x)`` — an element of ``T_0``."""
+        return (value, value)
+
+    def multiplication(self, nested: Tuple[Pair, Pair]) -> Pair:
+        """``μ((x, y), (x', y')) = (x, y')``.
+
+        The argument is an element of ``T_q (T_r A)``: a pair of pairs whose
+        ideal components are at distance ≤ q and whose members are themselves
+        within their own grade ``r``.
+        """
+        (ideal_pair, approx_pair) = nested
+        return (ideal_pair[0], approx_pair[1])
+
+    def subgrade(self, pair: Pair, lower: GradeLike, upper: GradeLike) -> Pair:
+        """``(q ≤ r) : T_q A → T_r A`` is the identity (checked)."""
+        lower, upper = as_grade(lower), as_grade(upper)
+        if not (lower <= upper):
+            raise ValueError(f"cannot coerce grade {lower} up to the smaller grade {upper}")
+        return pair
+
+    def map(self, function: Callable[[Any], Any], pair: Pair) -> Pair:
+        """The functorial action ``T_r f (x, y) = (f x, f y)``."""
+        return (function(pair[0]), function(pair[1]))
+
+    def strength(self, value: Any, pair: Pair) -> Tuple[Pair, Pair]:
+        """``st(a, (b, b')) = ((a, b), (a, b')) : A ⊗ T_r B → T_r (A ⊗ B)``."""
+        return ((value, pair[0]), (value, pair[1]))
+
+    def distributive(self, pair: Pair, sensitivity: GradeLike, grade: GradeLike) -> Pair:
+        """``λ_{s,r} : D_s (T_r A) → T_{s·r} (D_s A)`` — the identity map, with a
+        domain/codomain check (Lemma 4.7)."""
+        sensitivity, grade = as_grade(sensitivity), as_grade(grade)
+        source = NeighborhoodSpace(grade, self.base)
+        if not source.contains(pair):
+            raise ValueError(f"{pair!r} is not an element of T_{grade}")
+        target = NeighborhoodSpace(sensitivity * grade, ScaledSpace(sensitivity, self.base))
+        if not target.contains(pair):
+            raise ValueError(
+                f"distributive law violated: {pair!r} is not in T_{sensitivity * grade}(D_{sensitivity})"
+            )
+        return pair
+
+    # -- derived operations ------------------------------------------------------
+
+    def bind(
+        self,
+        pair: Pair,
+        function: Callable[[Any], Pair],
+        sensitivity: GradeLike = 1,
+    ) -> Pair:
+        """Kleisli extension: run ``function`` on both components and flatten.
+
+        ``function`` maps a base value to an element of ``T_q``; the result is
+        an element of ``T_{s·r + q}`` when ``function`` is ``s``-sensitive and
+        ``pair ∈ T_r`` — this is precisely the (M_u E) typing rule, and the
+        shape of the ``pow4`` diagram of Section 2.3.
+        """
+        ideal_result = function(pair[0])
+        approx_result = function(pair[1])
+        return self.multiplication((ideal_result, approx_result))
+
+    def grade_of(self, pair: Pair) -> Fraction:
+        """The smallest grade admitting ``pair`` (the upper RP enclosure)."""
+        _, high = self.base.distance_enclosure(pair[0], pair[1])
+        if is_infinite(high):
+            raise ValueError("the components are infinitely far apart")
+        return Fraction(high)

@@ -1,0 +1,87 @@
+"""Graded monads for non-deterministic rounding (Section 7.2).
+
+Non-deterministic choice is modelled by the powerset monad; layering it with
+the neighborhood construction gives two graded monads on Met:
+
+* ``TP+_r`` (*must* / demonic): pairs ``(x, S)`` where **every** element of
+  ``S`` is within distance ``r`` of the ideal value ``x``;
+* ``TP-_r`` (*may* / angelic): pairs ``(x, S)`` where **some** element of
+  ``S`` is within distance ``r``.
+
+Both share the unit ``x ↦ (x, {x})`` and the multiplication that unions the
+inner sets (Theorem 7.6).  Values use ``frozenset`` so they hash and compare
+structurally.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, FrozenSet, Tuple
+
+from ..core.grades import GradeLike, as_grade
+from ..metrics.base import Metric, is_infinite
+
+__all__ = ["MustNondeterministicMonad", "MayNondeterministicMonad"]
+
+Element = Tuple[Any, FrozenSet[Any]]
+
+
+class _NondeterministicBase:
+    def __init__(self, base: Metric) -> None:
+        self.base = base
+
+    def _within(self, ideal: Any, candidate: Any, grade) -> bool:
+        _, high = self.base.distance_enclosure(ideal, candidate)
+        if is_infinite(high):
+            return False
+        return Fraction(high) <= grade.evaluate()
+
+    def unit(self, value: Any) -> Element:
+        return (value, frozenset({value}))
+
+    def map(self, function: Callable[[Any], Any], element: Element) -> Element:
+        ideal, candidates = element
+        return (function(ideal), frozenset(function(candidate) for candidate in candidates))
+
+    def multiplication(self, nested: Tuple[Element, FrozenSet[Element]]) -> Element:
+        """``μ((x, A), {(y_i, B_i)}) = (x, ∪_i B_i)``."""
+        (ideal, _), inner_elements = nested
+        union: FrozenSet[Any] = frozenset()
+        for _, candidates in inner_elements:
+            union = union | candidates
+        return (ideal, union)
+
+    def bind(self, element: Element, function: Callable[[Any], Element]) -> Element:
+        ideal, candidates = element
+        ideal_result = function(ideal)
+        inner = frozenset(function(candidate) for candidate in candidates)
+        return self.multiplication((ideal_result, inner))
+
+    def distance(self, a: Element, b: Element):
+        return self.base.distance_enclosure(a[0], b[0])
+
+
+class MustNondeterministicMonad(_NondeterministicBase):
+    """``TP+_r``: all resolutions of the non-determinism satisfy the bound."""
+
+    def contains(self, element: Element, grade: GradeLike) -> bool:
+        ideal, candidates = element
+        grade = as_grade(grade)
+        if not self.base.contains(ideal):
+            return False
+        if grade.is_infinite:
+            return True
+        return all(self._within(ideal, candidate, grade) for candidate in candidates)
+
+
+class MayNondeterministicMonad(_NondeterministicBase):
+    """``TP-_r``: some resolution of the non-determinism satisfies the bound."""
+
+    def contains(self, element: Element, grade: GradeLike) -> bool:
+        ideal, candidates = element
+        grade = as_grade(grade)
+        if not self.base.contains(ideal):
+            return False
+        if grade.is_infinite:
+            return bool(candidates)
+        return any(self._within(ideal, candidate, grade) for candidate in candidates)

@@ -1,0 +1,173 @@
+"""Graded monads for randomized (stochastic) rounding (Section 7.2).
+
+Layering the neighborhood monad with the finite-distribution monad gives
+three graded monads, differing in which rounding outcomes must satisfy the
+distance bound:
+
+* :class:`WorstCaseProbabilisticMonad` — every outcome in the support is
+  within ``r`` of the ideal value (worst case);
+* :class:`BestCaseProbabilisticMonad` — some outcome is within ``r``;
+* :class:`ExpectedProbabilisticMonad` — the *expected* distance is at most
+  ``r`` (Theorem 7.8, third variant), giving average-case error bounds for
+  stochastic rounding.
+
+Distributions are dictionaries ``value -> probability`` with exact rational
+probabilities summing to 1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+from ..core.grades import GradeLike, as_grade
+from ..metrics.base import Metric, is_infinite
+
+__all__ = [
+    "Distribution",
+    "point_distribution",
+    "uniform_distribution",
+    "WorstCaseProbabilisticMonad",
+    "BestCaseProbabilisticMonad",
+    "ExpectedProbabilisticMonad",
+    "stochastic_rounding_distribution",
+]
+
+Distribution = Dict[Any, Fraction]
+Element = Tuple[Any, Distribution]
+
+
+def point_distribution(value: Any) -> Distribution:
+    return {value: Fraction(1)}
+
+
+def uniform_distribution(values) -> Distribution:
+    values = list(values)
+    weight = Fraction(1, len(values))
+    distribution: Distribution = {}
+    for value in values:
+        distribution[value] = distribution.get(value, Fraction(0)) + weight
+    return distribution
+
+
+def _normalised(distribution: Mapping[Any, Fraction]) -> Distribution:
+    total = sum(distribution.values(), Fraction(0))
+    if total == 0:
+        raise ValueError("empty distribution")
+    return {value: Fraction(p) / total for value, p in distribution.items() if p != 0}
+
+
+def stochastic_rounding_distribution(
+    value: Fraction, precision: int = 53
+) -> Distribution:
+    """The stochastic-rounding distribution over the two neighbouring floats.
+
+    Rounds down with probability proportional to the distance to the upper
+    neighbour and up with the complementary probability, so the rounding is
+    unbiased: ``E[round(x)] = x``.
+    """
+    from ..floats.rounding import RoundingMode, round_to_precision
+
+    value = Fraction(value)
+    down = round_to_precision(value, precision, RoundingMode.TOWARD_NEGATIVE)
+    up = round_to_precision(value, precision, RoundingMode.TOWARD_POSITIVE)
+    if down == up:
+        return point_distribution(down)
+    p_up = (value - down) / (up - down)
+    return {down: 1 - p_up, up: p_up}
+
+
+class _ProbabilisticBase:
+    def __init__(self, base: Metric) -> None:
+        self.base = base
+
+    def _distance(self, ideal: Any, outcome: Any) -> Fraction:
+        _, high = self.base.distance_enclosure(ideal, outcome)
+        if is_infinite(high):
+            raise OverflowError("infinite distance in a probabilistic element")
+        return Fraction(high)
+
+    def unit(self, value: Any) -> Element:
+        return (value, point_distribution(value))
+
+    def map(self, function: Callable[[Any], Any], element: Element) -> Element:
+        ideal, distribution = element
+        mapped: Distribution = {}
+        for outcome, probability in distribution.items():
+            image = function(outcome)
+            mapped[image] = mapped.get(image, Fraction(0)) + probability
+        return (function(ideal), mapped)
+
+    def multiplication(self, nested: Tuple[Element, Mapping[Element, Fraction]]) -> Element:
+        """``μ((x, p), q) = (x, flatten(q))`` where ``q`` is a distribution over elements."""
+        (ideal, _), outer = nested
+        flattened: Distribution = {}
+        for (_, inner_distribution), outer_probability in outer.items():
+            for outcome, inner_probability in inner_distribution.items():
+                weight = outer_probability * inner_probability
+                flattened[outcome] = flattened.get(outcome, Fraction(0)) + weight
+        return (ideal, _normalised(flattened))
+
+    def bind(self, element: Element, function: Callable[[Any], Element]) -> Element:
+        ideal, distribution = element
+        ideal_result, _ = function(ideal)
+        outer: Dict[Element, Fraction] = {}
+        for outcome, probability in distribution.items():
+            inner = function(outcome)
+            key = (inner[0], tuple(sorted(inner[1].items(), key=repr)))
+            outer[key] = outer.get(key, Fraction(0)) + probability
+        flattened: Distribution = {}
+        for (_, inner_items), outer_probability in outer.items():
+            for outcome, inner_probability in dict(inner_items).items():
+                weight = outer_probability * inner_probability
+                flattened[outcome] = flattened.get(outcome, Fraction(0)) + weight
+        return (ideal_result, _normalised(flattened))
+
+    def distance(self, a: Element, b: Element):
+        return self.base.distance_enclosure(a[0], b[0])
+
+
+class WorstCaseProbabilisticMonad(_ProbabilisticBase):
+    """Every outcome in the support satisfies the distance bound."""
+
+    def contains(self, element: Element, grade: GradeLike) -> bool:
+        ideal, distribution = element
+        grade = as_grade(grade)
+        if grade.is_infinite:
+            return True
+        bound = grade.evaluate()
+        return all(
+            self._distance(ideal, outcome) <= bound for outcome in distribution
+        )
+
+
+class BestCaseProbabilisticMonad(_ProbabilisticBase):
+    """Some outcome in the support satisfies the distance bound."""
+
+    def contains(self, element: Element, grade: GradeLike) -> bool:
+        ideal, distribution = element
+        grade = as_grade(grade)
+        if grade.is_infinite:
+            return True
+        bound = grade.evaluate()
+        return any(
+            self._distance(ideal, outcome) <= bound for outcome in distribution
+        )
+
+
+class ExpectedProbabilisticMonad(_ProbabilisticBase):
+    """The expected distance to the ideal value is at most the grade."""
+
+    def expected_distance(self, element: Element) -> Fraction:
+        ideal, distribution = element
+        return sum(
+            (self._distance(ideal, outcome) * probability
+             for outcome, probability in distribution.items()),
+            Fraction(0),
+        )
+
+    def contains(self, element: Element, grade: GradeLike) -> bool:
+        grade = as_grade(grade)
+        if grade.is_infinite:
+            return True
+        return self.expected_distance(element) <= grade.evaluate()

@@ -1,0 +1,93 @@
+"""The state-dependent rounding monad ``TS_r`` (Section 7.2).
+
+Rounding behaviour can depend on machine state (e.g. the current rounding
+mode held in a floating-point control register).  The paper models this by
+layering the neighborhood monad with the global-state monad: ``TS_r A`` has
+carrier ``{(x, f) ∈ A × (Σ → Σ × A) | ∀σ. d(x, π₂(f σ)) ≤ r}`` — an ideal
+value together with a stateful computation whose result is within ``r`` of
+the ideal value *regardless of the initial state*.
+
+Stateful computations are represented as Python callables ``state -> (state,
+value)``; :class:`StateMonad` checks carrier membership over a finite set of
+probe states supplied by the caller (sufficient for the law tests).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Iterable, Tuple
+
+from ..core.grades import GradeLike, as_grade
+from ..metrics.base import Metric, is_infinite
+
+__all__ = ["StateMonad"]
+
+Stateful = Callable[[Any], Tuple[Any, Any]]
+Element = Tuple[Any, Stateful]
+
+
+class StateMonad:
+    """The graded monad ``TS_r`` over a base metric space and a state set."""
+
+    def __init__(self, base: Metric, states: Iterable[Any]) -> None:
+        self.base = base
+        self.states = list(states)
+
+    # -- carrier ---------------------------------------------------------------
+
+    def contains(self, element: Element, grade: GradeLike) -> bool:
+        ideal, computation = element
+        grade = as_grade(grade)
+        if not self.base.contains(ideal):
+            return False
+        for state in self.states:
+            _, value = computation(state)
+            if grade.is_infinite:
+                continue
+            _, high = self.base.distance_enclosure(ideal, value)
+            if is_infinite(high) or Fraction(high) > grade.evaluate():
+                return False
+        return True
+
+    def distance(self, a: Element, b: Element):
+        return self.base.distance_enclosure(a[0], b[0])
+
+    # -- structure maps -----------------------------------------------------------
+
+    def unit(self, value: Any) -> Element:
+        return (value, lambda state: (state, value))
+
+    def map(self, function: Callable[[Any], Any], element: Element) -> Element:
+        ideal, computation = element
+
+        def mapped(state):
+            new_state, value = computation(state)
+            return new_state, function(value)
+
+        return (function(ideal), mapped)
+
+    def multiplication(self, nested: Tuple[Element, Stateful]) -> Element:
+        """``μ((x, f), g) = (x, sequencing of g then the produced computation)``."""
+        (ideal, _), outer = nested
+
+        def flattened(state):
+            middle_state, inner_element = outer(state)
+            _, inner_computation = inner_element
+            return inner_computation(middle_state)
+
+        return (ideal, flattened)
+
+    def bind(self, element: Element, function: Callable[[Any], Element]) -> Element:
+        ideal, computation = element
+        ideal_result, _ = function(ideal)
+
+        def sequenced(state):
+            middle_state, value = computation(state)
+            _, inner_computation = function(value)
+            return inner_computation(middle_state)
+
+        return (ideal_result, sequenced)
+
+    def run(self, element: Element, state: Any) -> Tuple[Any, Any]:
+        """Run the stateful component from a given initial state."""
+        return element[1](state)

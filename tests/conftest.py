@@ -1,0 +1,36 @@
+"""Shared fixtures and path setup for the test suite."""
+
+import os
+import sys
+from fractions import Fraction
+
+import pytest
+
+# Fallback so the tests run from a source checkout even when the package has
+# not been pip-installed (e.g. offline environments without `wheel`).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path and os.path.isdir(_SRC):
+    sys.path.insert(0, _SRC)
+
+from repro.core.grades import DEFAULT_REGISTRY, EPS_SYMBOL  # noqa: E402
+from repro.core.inference import InferenceConfig  # noqa: E402
+from repro.core.signature import standard_signature  # noqa: E402
+
+
+#: The exact unit roundoff used throughout the standard instantiation.
+EPS_VALUE = DEFAULT_REGISTRY.value_of(EPS_SYMBOL)
+
+
+@pytest.fixture(scope="session")
+def eps_value() -> Fraction:
+    return EPS_VALUE
+
+
+@pytest.fixture(scope="session")
+def signature():
+    return standard_signature()
+
+
+@pytest.fixture()
+def config() -> InferenceConfig:
+    return InferenceConfig()

@@ -1,0 +1,128 @@
+"""Tests for the high-level analysis API and the RP ↔ relative-error conversions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    analyze_program,
+    analyze_source,
+    analyze_term,
+    relative_error_from_rp,
+    relative_error_from_rp_linear,
+    rp_bound_value,
+    rp_from_relative_error,
+)
+from repro.core import parse_program, parse_term
+from repro.core import types as T
+from repro.core.errors import TypeInferenceError
+from repro.core.grades import EPS
+
+
+SOURCE = """
+function mulfp (xy: (num, num)) : M[eps]num { s = mul xy; rnd s }
+function square (x: ![2]num) : M[eps]num {
+  let [x1] = x;
+  mulfp (x1, x1)
+}
+"""
+
+
+class TestBoundsConversions:
+    def test_rp_bound_value(self):
+        assert rp_bound_value(2 * EPS) == Fraction(1, 2**51)
+
+    def test_zero(self):
+        assert relative_error_from_rp(0) == 0
+        assert rp_from_relative_error(0) == 0
+
+    def test_relative_error_dominates_alpha(self):
+        alpha = 5 * EPS
+        assert relative_error_from_rp(alpha) >= rp_bound_value(alpha)
+
+    def test_linear_form_is_looser(self):
+        alpha = 5 * EPS
+        assert relative_error_from_rp(alpha) <= relative_error_from_rp_linear(alpha)
+
+    def test_linear_form_requires_alpha_below_one(self):
+        with pytest.raises(ValueError):
+            relative_error_from_rp_linear(2)
+
+    def test_round_trip_is_conservative(self):
+        epsilon = Fraction(1, 10**8)
+        alpha = rp_from_relative_error(epsilon)
+        assert relative_error_from_rp(alpha) >= epsilon
+
+    def test_negative_rp_rejected(self):
+        with pytest.raises(Exception):
+            relative_error_from_rp(Fraction(-1))
+
+
+class TestAnalyzeTerm:
+    def test_monadic_result(self):
+        report = analyze_term(parse_term("rnd x"), {"x": T.NUM})
+        assert report.error_grade == EPS
+        assert report.rp_bound == Fraction(1, 2**52)
+        assert report.relative_error_bound >= report.rp_bound
+        assert report.operations == 0
+
+    def test_non_monadic_result_has_no_bound(self):
+        report = analyze_term(parse_term("mul (x, y)"), {"x": T.NUM, "y": T.NUM})
+        assert report.error_grade is None
+        assert report.rp_bound is None
+
+    def test_sensitivities_are_reported(self):
+        report = analyze_term(parse_term("s = mul (x, x); rnd s"), {"x": T.NUM})
+        assert report.sensitivity_of("x") == 2
+
+    def test_summary_is_readable(self):
+        report = analyze_term(parse_term("rnd x"), {"x": T.NUM}, name="single")
+        text = report.summary()
+        assert "single" in text and "RP error grade" in text and "eps" in text
+
+
+class TestAnalyzeSource:
+    def test_function_selection(self):
+        report = analyze_source(SOURCE, function="mulfp")
+        assert report.name == "mulfp"
+        assert report.error_grade == EPS
+
+    def test_last_function_is_default(self):
+        report = analyze_source(SOURCE)
+        assert report.name == "square"
+        assert report.annotation_satisfied
+
+    def test_annotation_violations_are_flagged(self):
+        bad = """
+        function f (x: num) : M[0]num {
+          rnd x
+        }
+        """
+        report = analyze_source(bad)
+        assert report.annotation_satisfied is False
+
+    def test_analyze_program_covers_every_definition(self):
+        program = parse_program(SOURCE)
+        reports = analyze_program(program)
+        assert [report.name for report in reports] == ["mulfp", "square"]
+        assert all(report.error_grade == EPS for report in reports)
+
+    def test_bare_expression_program(self):
+        report = analyze_source("s = add (|2, 3|); rnd s")
+        assert report.error_grade == EPS
+
+
+class TestSoundnessHarness:
+    def test_rejects_non_monadic_terms(self):
+        from repro.analysis import check_error_soundness
+
+        with pytest.raises(TypeInferenceError):
+            check_error_soundness(parse_term("mul (x, y)"), {"x": T.NUM, "y": T.NUM}, {"x": 1, "y": 1})
+
+    def test_report_fields(self):
+        from repro.analysis import check_error_soundness
+
+        report = check_error_soundness(parse_term("rnd x"), {"x": T.NUM}, {"x": Fraction(1, 3)})
+        assert report.holds and bool(report)
+        assert report.fp_value >= report.ideal_value
+        assert report.rp_lower <= report.rp_upper <= report.bound + report.slack

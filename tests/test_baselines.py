@@ -1,0 +1,222 @@
+"""Tests for the interval substrate, the two baseline analysers and the
+textbook bounds."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    FPTaylorLikeAnalyzer,
+    GappaLikeAnalyzer,
+    Interval,
+    IntervalError,
+    analyze_interval,
+    analyze_taylor,
+    dot_product_bound,
+    gamma,
+    horner_bound,
+    horner_fma_bound,
+    hull,
+    matrix_multiply_bound,
+    pairwise_summation_bound,
+    serial_summation_bound,
+)
+from repro.floats.standard_model import StandardModel, relative_error
+from repro.frontend import expr as E
+
+fractions = st.fractions(min_value=Fraction(-100), max_value=Fraction(100))
+positive = st.fractions(min_value=Fraction(1, 100), max_value=Fraction(100)).filter(lambda q: q > 0)
+
+RANGE = {"x": (Fraction(1, 10), Fraction(1000)), "y": (Fraction(1, 10), Fraction(1000))}
+EPS64 = Fraction(1, 2**52)
+
+
+class TestInterval:
+    def test_invalid_interval(self):
+        with pytest.raises(IntervalError):
+            Interval(Fraction(2), Fraction(1))
+
+    def test_point_and_membership(self):
+        box = Interval.point(3)
+        assert box.contains(3) and not box.contains(4)
+        assert box.width == 0
+
+    def test_addition_and_subtraction(self):
+        a, b = Interval(1, 2), Interval(10, 20)
+        assert (a + b).low == 11 and (a + b).high == 22
+        assert (b - a).low == 8 and (b - a).high == 19
+
+    def test_multiplication_handles_signs(self):
+        a = Interval(-2, 3)
+        b = Interval(-5, 4)
+        product = a * b
+        assert product.low == -15 and product.high == 12
+
+    def test_division(self):
+        assert (Interval(1, 2) / Interval(2, 4)).low == Fraction(1, 4)
+        with pytest.raises(IntervalError):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_sqrt_encloses(self):
+        box = Interval(2, 3).sqrt()
+        assert box.low * box.low <= 2 and 3 <= box.high * box.high
+
+    def test_magnitude_mignitude(self):
+        box = Interval(-3, 2)
+        assert box.magnitude() == 3
+        assert box.mignitude() == 0
+        assert Interval(2, 5).mignitude() == 2
+
+    def test_join_and_hull(self):
+        assert Interval(0, 1).join(Interval(5, 6)).high == 6
+        assert hull([Interval(0, 1), Interval(-2, 0)]).low == -2
+
+    def test_widen_models_one_rounding(self):
+        box = Interval(1, 2).widen(EPS64)
+        assert box.low < 1 and box.high > 2
+
+    def test_scale_negative(self):
+        box = Interval(1, 2).scale(-1)
+        assert box.low == -2 and box.high == -1
+
+    @given(a=fractions, b=fractions, c=fractions, d=fractions, x=fractions, y=fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_containment_soundness(self, a, b, c, d, x, y):
+        """Interval arithmetic contains the pointwise results."""
+        left = Interval(min(a, b), max(a, b))
+        right = Interval(min(c, d), max(c, d))
+        px = min(max(x, left.low), left.high)
+        py = min(max(y, right.low), right.high)
+        assert (left + right).contains(px + py)
+        assert (left * right).contains(px * py)
+        assert (left - right).contains(px - py)
+
+
+class TestGappaLikeAnalyzer:
+    def test_single_addition_bound(self):
+        result = analyze_interval(E.Add(E.Var("x"), E.Var("y")), RANGE)
+        assert not result.failed
+        assert EPS64 <= result.relative_error <= 2 * EPS64
+
+    def test_hypot_matches_paper_scale(self):
+        expr = E.Sqrt(E.Add(E.Mul(E.Var("x"), E.Var("x")), E.Mul(E.Var("y"), E.Var("y"))))
+        result = analyze_interval(expr, RANGE)
+        assert not result.failed
+        assert result.relative_error <= 3 * EPS64
+
+    def test_division_bound(self):
+        expr = E.Div(E.Var("x"), E.Add(E.Var("x"), E.Var("y")))
+        result = analyze_interval(expr, RANGE)
+        assert not result.failed
+        assert result.relative_error <= 4 * EPS64
+
+    def test_input_errors_are_propagated(self):
+        expr = E.Add(E.Var("x"), E.Var("y"))
+        without = analyze_interval(expr, RANGE)
+        with_errors = analyze_interval(expr, RANGE, input_errors={"x": EPS64, "y": EPS64})
+        assert with_errors.relative_error > without.relative_error
+
+    def test_subtraction_fails(self):
+        result = analyze_interval(E.Sub(E.Var("x"), E.Var("y")), RANGE)
+        assert result.failed
+
+    def test_conditional_fails(self):
+        expr = E.Cond(E.Comparison(">", E.Var("x"), E.Var("y")), E.Var("x"), E.Var("y"))
+        assert analyze_interval(expr, RANGE).failed
+
+    def test_missing_range_fails(self):
+        result = analyze_interval(E.Add(E.Var("x"), E.Var("z")), RANGE)
+        assert result.failed
+
+    @given(
+        x=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        y=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bound_is_sound_for_sampled_inputs(self, x, y):
+        """The certified relative error dominates the observed error at sample
+        points (inputs are binary64 values, as the analyses assume)."""
+        x, y = Fraction(x), Fraction(y)
+        expr = E.Div(E.Add(E.Mul(E.Var("x"), E.Var("x")), E.Var("y")), E.Var("y"))
+        ranges = {"x": (x, x), "y": (y, y)}
+        result = analyze_interval(expr, ranges)
+        assert not result.failed
+        exact = E.evaluate_exact(expr, {"x": x, "y": y})
+        approx = E.evaluate_fp(expr, {"x": x, "y": y}, StandardModel())
+        assert relative_error(exact, approx) <= result.relative_error
+
+
+class TestFPTaylorLikeAnalyzer:
+    def test_straight_line_bound(self):
+        result = analyze_taylor(E.Add(E.Var("x"), E.Var("y")), RANGE)
+        assert not result.failed
+        assert result.relative_error >= EPS64
+
+    def test_blows_up_on_horner_style_ranges(self):
+        # With all variables in [0.1, 1000] the ratio sup|error| / inf|f| is
+        # astronomically loose -- the same qualitative behaviour as FPTaylor's
+        # Horner rows in Table 3.
+        from repro.benchsuite.large import horner_fma_expression
+
+        expr = horner_fma_expression(5)
+        ranges = {name: (Fraction(1, 10), Fraction(1000)) for name in E.free_variables(expr)}
+        result = analyze_taylor(expr, ranges)
+        assert result.failed or result.relative_error > Fraction(1, 10**6)
+
+    def test_conditional_fails(self):
+        expr = E.Cond(E.Comparison(">", E.Var("x"), E.Var("y")), E.Var("x"), E.Var("y"))
+        assert analyze_taylor(expr, RANGE).failed
+
+    def test_input_errors_increase_bound(self):
+        expr = E.Mul(E.Var("x"), E.Var("y"))
+        without = analyze_taylor(expr, RANGE)
+        with_errors = analyze_taylor(expr, RANGE, input_errors={"x": EPS64})
+        assert with_errors.relative_error > without.relative_error
+
+    @given(
+        x=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        y=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bound_is_sound_on_point_ranges(self, x, y):
+        x, y = Fraction(x), Fraction(y)
+        expr = E.Add(E.Mul(E.Var("x"), E.Var("x")), E.Var("y"))
+        ranges = {"x": (x, x), "y": (y, y)}
+        result = analyze_taylor(expr, ranges)
+        assert not result.failed
+        exact = E.evaluate_exact(expr, {"x": x, "y": y})
+        approx = E.evaluate_fp(expr, {"x": x, "y": y}, StandardModel())
+        assert relative_error(exact, approx) <= result.relative_error
+
+
+class TestStandardBounds:
+    def test_gamma(self):
+        u = Fraction(1, 2**52)
+        assert gamma(1, u) == u / (1 - u)
+        with pytest.raises(ValueError):
+            gamma(2**53, u)
+
+    def test_horner_bounds(self):
+        assert horner_fma_bound(50) == gamma(50, EPS64)
+        assert horner_bound(50) == gamma(100, EPS64)
+        assert float(horner_fma_bound(50)) == pytest.approx(1.11e-14, rel=1e-2)
+
+    def test_summation_bounds(self):
+        assert serial_summation_bound(1024) == gamma(1023, EPS64)
+        assert float(serial_summation_bound(1024)) == pytest.approx(2.27e-13, rel=1e-2)
+        assert serial_summation_bound(1) == 0
+        assert pairwise_summation_bound(1024) == gamma(10, EPS64)
+
+    def test_matrix_multiply_bounds(self):
+        assert matrix_multiply_bound(64) == dot_product_bound(64)
+        assert float(matrix_multiply_bound(64)) == pytest.approx(1.42e-14, rel=1e-2)
+
+    def test_paper_table4_std_column(self):
+        expectations = {
+            50: 1.11e-14,
+            75: 1.665e-14,
+            100: 2.22e-14,
+        }
+        for degree, value in expectations.items():
+            assert float(horner_fma_bound(degree)) == pytest.approx(value, rel=2e-2)

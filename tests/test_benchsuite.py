@@ -1,0 +1,199 @@
+"""Tests for the benchmark suite: the measured Λnum bounds reproduce Tables 3–5."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.benchsuite import (
+    Benchmark,
+    benchmark_from_expression,
+    horner_benchmark,
+    matrix_multiply_benchmark,
+    pairwise_sum_expression,
+    poly50_benchmark,
+    serial_sum_benchmark,
+    table3_benchmarks,
+    table4_benchmarks,
+    table5_benchmarks,
+)
+from repro.benchsuite.fpbench import small_benchmark
+from repro.benchsuite.runner import (
+    render_rows,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+from repro.frontend import expr as E
+
+EPS64 = Fraction(1, 2**52)
+
+#: Expected Λnum error grades (as multiples of eps) for every Table 3 benchmark.
+TABLE3_EXPECTED_EPS = {
+    "hypot": Fraction(5, 2),
+    "x_by_xy": 2,
+    "one_by_sqrtxx": Fraction(5, 2),
+    "sqrt_add": Fraction(9, 2),
+    "test02_sum8": 7,
+    "nonlin1": 2,
+    "test05_nonlin1": 2,
+    "verhulst": 4,
+    "predatorPrey": 7,
+    "test06_sums4_sum1": 3,
+    "test06_sums4_sum2": 3,
+    "i4": 2,
+    "Horner2": 2,
+    "Horner2_with_error": 7,
+    "Horner5": 5,
+    "Horner10": 10,
+    "Horner20": 20,
+}
+
+
+class TestTable3:
+    @pytest.mark.parametrize("bench", table3_benchmarks(), ids=lambda b: b.name)
+    def test_lnum_grade_matches_paper(self, bench):
+        analysis = bench.analyze_lnum()
+        expected = TABLE3_EXPECTED_EPS[bench.name] * EPS64
+        assert analysis.rp_bound == expected
+
+    @pytest.mark.parametrize("bench", table3_benchmarks(), ids=lambda b: b.name)
+    def test_lnum_relative_error_matches_paper_to_print_precision(self, bench):
+        analysis = bench.analyze_lnum()
+        paper = bench.paper_bounds["lnum"]
+        assert float(analysis.relative_error_bound) == pytest.approx(paper, rel=5e-3)
+
+    def test_gappa_like_is_close_to_the_paper_column(self):
+        # Spot-check a few rows where the paper's Gappa bound is a clean
+        # multiple of eps; the re-implementation should land on the same value.
+        expectations = {"x_by_xy": 1, "test02_sum8": 7, "Horner20": 20, "i4": 2}
+        for name, multiple in expectations.items():
+            result = small_benchmark(name).analyze_gappa_like()
+            assert not result.failed
+            assert result.relative_error == pytest.approx(multiple * float(EPS64), rel=0.6)
+
+    def test_ratio_shape_lnum_within_factor_two_of_best_baseline(self):
+        for benchmark in table3_benchmarks():
+            analysis = benchmark.analyze_lnum()
+            interval = benchmark.analyze_gappa_like()
+            if interval is None or interval.failed:
+                continue
+            ratio = float(analysis.relative_error_bound) / float(interval.relative_error)
+            assert ratio <= 2.1, benchmark.name
+
+    def test_operation_counts_are_close_to_paper(self):
+        for benchmark in table3_benchmarks():
+            if benchmark.expression is None:
+                continue
+            assert abs(benchmark.operations - benchmark.paper_operations) <= 1, benchmark.name
+
+
+class TestTable4:
+    def test_horner_bounds_scale_linearly(self):
+        for degree, expected in ((50, 50), (75, 75), (100, 100)):
+            analysis = horner_benchmark(degree).analyze_lnum()
+            assert analysis.rp_bound == expected * EPS64
+
+    def test_matrix_multiply_bounds(self):
+        for dimension, expected in ((4, 7), (16, 31)):
+            analysis = matrix_multiply_benchmark(dimension).analyze_lnum()
+            assert analysis.rp_bound == expected * EPS64
+
+    def test_matrix_multiply_total_operation_count(self):
+        benchmark = matrix_multiply_benchmark(16)
+        assert benchmark.paper_operations == 7936
+
+    def test_serial_sum_bound(self):
+        analysis = serial_sum_benchmark(64).analyze_lnum()
+        assert analysis.rp_bound == 63 * EPS64
+
+    def test_poly50_matches_paper(self):
+        analysis = poly50_benchmark(50).analyze_lnum()
+        assert float(analysis.relative_error_bound) == pytest.approx(2.94e-13, rel=1e-2)
+
+    def test_lnum_is_at_most_twice_the_textbook_bound(self):
+        # The paper observes Λnum's bound equals the standard bound for Horner
+        # and summation, and is within 2x for matrix multiplication.
+        for benchmark in table4_benchmarks():
+            std = benchmark.paper_bounds.get("std")
+            if std is None:
+                continue
+            analysis = benchmark.analyze_lnum()
+            assert float(analysis.relative_error_bound) <= 2.01 * std, benchmark.name
+
+    def test_pairwise_and_serial_sums_get_the_same_lnum_bound(self):
+        # The with-product metric makes addition 1-sensitive in each operand,
+        # but independent rounding errors still accumulate additively through
+        # let-bind, so pairwise and serial summation receive the *same* grade
+        # (n-1)*eps — exactly as in Table 3 where sums4_sum1 and sums4_sum2
+        # both get 6.66e-16.  (The textbook pairwise bound is logarithmic; see
+        # the ablation benchmark for the comparison.)
+        from repro.benchsuite.large import serial_sum_expression
+
+        serial = benchmark_from_expression("serial16", serial_sum_expression(16))
+        pairwise = benchmark_from_expression("pairwise16", pairwise_sum_expression(16))
+        assert pairwise.analyze_lnum().rp_bound == serial.analyze_lnum().rp_bound
+
+
+class TestTable5:
+    EXPECTED = {
+        "PythagoreanSum": 4,
+        "HammarlingDistance": 4,  # paper reports 5 eps; see EXPERIMENTS.md
+        "squareRoot3": 2,
+        "squareRoot3Invalid": 2,
+    }
+
+    @pytest.mark.parametrize("bench", table5_benchmarks(), ids=lambda b: b.name)
+    def test_conditional_grades(self, bench):
+        analysis = bench.analyze_lnum()
+        assert analysis.rp_bound == self.EXPECTED[bench.name] * EPS64
+
+    @pytest.mark.parametrize("bench", table5_benchmarks(), ids=lambda b: b.name)
+    def test_conditional_bounds_cover_both_branches(self, bench):
+        """Evaluating either branch stays within the inferred bound."""
+        from repro.analysis import check_error_soundness
+
+        low_inputs = {name: Fraction(1, 7) for name in bench.skeleton}
+        high_inputs = {name: Fraction(500) + Fraction(idx) for idx, name in enumerate(bench.skeleton)}
+        for inputs in (low_inputs, high_inputs):
+            report = check_error_soundness(bench.term, bench.skeleton, inputs)
+            assert report.holds
+
+
+class TestHarness:
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert [row["format"] for row in rows] == ["binary32", "binary64", "binary128"]
+
+    def test_table2_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 4
+        assert any(row["unit_roundoff"] == float(EPS64) for row in rows)
+
+    def test_table3_rows_without_baselines(self):
+        rows = table3_rows(run_baselines=False)
+        assert len(rows) == 17
+        assert all(row["lnum_bound"] > 0 for row in rows)
+
+    def test_table5_rows(self):
+        rows = table5_rows()
+        assert {row["benchmark"] for row in rows} == set(TestTable5.EXPECTED)
+
+    def test_render_rows_produces_a_table(self):
+        text = render_rows(table1_rows())
+        assert "binary64" in text and "-" * 3 in text
+
+    def test_render_empty(self):
+        assert render_rows([]) == "(no rows)"
+
+    def test_benchmark_requires_term_or_expression(self):
+        with pytest.raises(ValueError):
+            Benchmark(name="broken", operations=0)
+
+    def test_sample_inputs_respect_ranges(self):
+        benchmark = small_benchmark("hypot")
+        inputs = benchmark.sample_inputs(seed=3)
+        for name, value in inputs.items():
+            low, high = benchmark.input_ranges[name]
+            assert low <= value <= high

@@ -1,0 +1,121 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples", "programs")
+
+FMA_SOURCE = """
+function FMA (x: num) (y: num) (z: num) : M[eps]num {
+  a = mul (x, y);
+  b = add (|a, z|);
+  rnd b
+}
+"""
+
+
+@pytest.fixture()
+def fma_file(tmp_path):
+    path = tmp_path / "fma.lnum"
+    path.write_text(FMA_SOURCE)
+    return str(path)
+
+
+class TestCheckCommand:
+    def test_check_prints_grades(self, fma_file, capsys):
+        assert main(["check", fma_file]) == 0
+        output = capsys.readouterr().out
+        assert "FMA" in output and "eps" in output and "relative error" in output
+
+    def test_check_single_function(self, fma_file, capsys):
+        assert main(["check", fma_file, "-f", "FMA"]) == 0
+        assert "FMA" in capsys.readouterr().out
+
+    def test_check_unknown_function(self, fma_file):
+        with pytest.raises(SystemExit):
+            main(["check", fma_file, "-f", "nope"])
+
+    def test_check_example_program(self, capsys):
+        path = os.path.join(EXAMPLES, "horner2.lnum")
+        assert main(["check", path]) == 0
+        output = capsys.readouterr().out
+        assert "Horner2" in output and "2*eps" in output
+
+    def test_check_conditional_example(self, capsys):
+        path = os.path.join(EXAMPLES, "pythagorean_sum.lnum")
+        assert main(["check", path]) == 0
+        output = capsys.readouterr().out
+        assert "4*eps" in output
+
+    def test_annotation_violation_sets_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.lnum"
+        path.write_text("function f (x: num) : M[0]num { rnd x }\n")
+        assert main(["check", str(path)]) == 1
+
+    def test_parse_error_is_reported(self, tmp_path, capsys):
+        path = tmp_path / "broken.lnum"
+        path.write_text("function f (x num { rnd x }")
+        assert main(["check", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/does/not/exist.lnum"]) == 2
+
+    def test_stdin_input(self, fma_file, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(FMA_SOURCE))
+        assert main(["check", "-"]) == 0
+
+    def test_binary32_instantiation_scales_the_bound(self, tmp_path, capsys):
+        # The program carries no annotation, so only the instantiation changes.
+        path = tmp_path / "plain.lnum"
+        path.write_text("function f (x: num) (y: num) { a = mul (x, y); rnd a }\n")
+        assert main(["check", str(path), "--format", "binary32"]) == 0
+        output = capsys.readouterr().out
+        assert "1.192e-07" in output or "1.19e-07" in output
+
+
+class TestFpcoreCommand:
+    def test_fpcore_example(self, capsys):
+        path = os.path.join(EXAMPLES, "hypot.fpcore")
+        assert main(["fpcore", path]) == 0
+        output = capsys.readouterr().out
+        assert "hypot" in output and "5/2*eps" in output
+
+
+class TestTableCommand:
+    def test_table1(self, capsys):
+        assert main(["table", "table1"]) == 0
+        assert "binary64" in capsys.readouterr().out
+
+    def test_table5(self, capsys):
+        assert main(["table", "table5"]) == 0
+        output = capsys.readouterr().out
+        assert "squareRoot3" in output
+
+
+class TestValidateCommand:
+    def test_validate_function(self, fma_file, capsys):
+        code = main(
+            ["validate", fma_file, "-f", "FMA", "-i", "x=0.1", "-i", "y=0.2", "-i", "z=0.3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "bound holds      : True" in output
+
+    def test_validate_requires_all_inputs(self, fma_file):
+        with pytest.raises(SystemExit):
+            main(["validate", fma_file, "-f", "FMA", "-i", "x=0.1"])
+
+    def test_validate_bad_assignment(self, fma_file):
+        with pytest.raises(SystemExit):
+            main(["validate", fma_file, "-f", "FMA", "-i", "x:1"])
+
+    def test_validate_bare_expression(self, tmp_path, capsys):
+        path = tmp_path / "expr.lnum"
+        path.write_text("s = mul (x, x); rnd s\n")
+        assert main(["validate", str(path), "-i", "x=0.7"]) == 0

@@ -1,0 +1,110 @@
+"""Tests for typing environments (contexts): sum, scaling, max, subenvironments."""
+
+import pytest
+
+from repro.core.environment import Context
+from repro.core.errors import TypeCheckError
+from repro.core.grades import EPS, Grade, INFINITY, ZERO
+from repro.core.types import Monadic, NUM, UNIT
+
+
+class TestBasics:
+    def test_empty(self):
+        context = Context.empty()
+        assert len(context) == 0
+        assert context.sensitivity_of("x") == ZERO
+        assert str(context) == "·"
+
+    def test_single(self):
+        context = Context.single("x", NUM, 2)
+        assert context.type_of("x") == NUM
+        assert context.sensitivity_of("x") == Grade.constant(2)
+
+    def test_zeros_from_skeleton(self):
+        context = Context.zeros({"x": NUM, "y": UNIT})
+        assert context.sensitivity_of("x").is_zero
+        assert context.type_of("y") == UNIT
+
+    def test_bind_and_remove(self):
+        context = Context.empty().bind("x", NUM, 1).bind("y", NUM, 2)
+        assert set(context.variables()) == {"x", "y"}
+        assert "y" not in context.remove("y")
+
+    def test_skeleton_round_trip(self):
+        context = Context.single("x", NUM, 3)
+        assert context.skeleton() == {"x": NUM}
+
+
+class TestSemiring:
+    def test_sum_adds_sensitivities(self):
+        left = Context.single("x", NUM, 1)
+        right = Context.single("x", NUM, 2)
+        assert (left + right).sensitivity_of("x") == Grade.constant(3)
+
+    def test_sum_disjoint_domains(self):
+        left = Context.single("x", NUM, 1)
+        right = Context.single("y", NUM, 2)
+        combined = left + right
+        assert combined.sensitivity_of("x") == Grade.constant(1)
+        assert combined.sensitivity_of("y") == Grade.constant(2)
+
+    def test_sum_requires_summable(self):
+        left = Context.single("x", NUM, 1)
+        right = Context.single("x", UNIT, 1)
+        assert not left.summable_with(right)
+        with pytest.raises(TypeCheckError):
+            left + right
+
+    def test_scale(self):
+        context = Context.single("x", NUM, 2).scale(3)
+        assert context.sensitivity_of("x") == Grade.constant(6)
+
+    def test_scale_by_grade(self):
+        context = Context.single("x", NUM, 2).scale(EPS)
+        assert context.sensitivity_of("x") == 2 * EPS
+
+    def test_scale_zero_times_infinity(self):
+        context = Context.single("x", NUM, INFINITY).scale(0)
+        assert context.sensitivity_of("x").is_zero
+
+    def test_rmul_syntax(self):
+        context = 2 * Context.single("x", NUM, 1)
+        assert context.sensitivity_of("x") == Grade.constant(2)
+
+    def test_max_with(self):
+        left = Context.single("x", NUM, 1) + Context.single("y", NUM, 3)
+        right = Context.single("x", NUM, 2)
+        joined = left.max_with(right)
+        assert joined.sensitivity_of("x") == Grade.constant(2)
+        assert joined.sensitivity_of("y") == Grade.constant(3)
+
+    def test_max_with_type_clash(self):
+        with pytest.raises(TypeCheckError):
+            Context.single("x", NUM, 1).max_with(Context.single("x", UNIT, 1))
+
+
+class TestOrdering:
+    def test_subenvironment_smaller_sensitivity(self):
+        small = Context.single("x", NUM, 1)
+        large = Context.single("x", NUM, 2)
+        assert small.is_subenvironment_of(large)
+        assert not large.is_subenvironment_of(small)
+
+    def test_subenvironment_missing_variable(self):
+        small = Context.single("x", NUM, 1)
+        large = Context.single("x", NUM, 1) + Context.single("y", NUM, 1)
+        assert small.is_subenvironment_of(large)
+        assert not large.is_subenvironment_of(small)
+
+    def test_zero_sensitivity_binding_imposes_nothing(self):
+        small = Context.zeros({"x": NUM})
+        assert small.is_subenvironment_of(Context.empty())
+
+    def test_type_mismatch_breaks_order(self):
+        small = Context.single("x", NUM, 1)
+        large = Context.single("x", Monadic(EPS, NUM), 2)
+        assert not small.is_subenvironment_of(large)
+
+    def test_equality_and_hash(self):
+        assert Context.single("x", NUM, 1) == Context.single("x", NUM, 1)
+        assert hash(Context.single("x", NUM, 1)) == hash(Context.single("x", NUM, 1))

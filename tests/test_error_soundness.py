@@ -1,0 +1,144 @@
+"""Empirical checks of error soundness (Corollary 4.20).
+
+For programs of type ``M_u num`` the ideal and floating-point results must be
+within RP distance ``u``.  These tests run both semantics on concrete and
+randomised inputs and verify the bound with exact rational enclosures of the
+logarithm — never with lossy double-precision arithmetic.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import check_error_soundness
+from repro.core import types as T
+from repro.core.parser import parse_term
+from repro.floats.rounding import RoundingMode
+from repro.frontend.compiler import compile_expression
+from repro.benchsuite.fpbench import table3_benchmarks
+from repro.benchsuite.large import horner_fma_expression, serial_sum_expression
+
+positive_inputs = st.fractions(min_value=Fraction(1, 1000), max_value=Fraction(1000)).filter(
+    lambda q: q > 0
+)
+
+
+class TestSimplePrograms:
+    def test_single_rounding(self):
+        report = check_error_soundness(
+            parse_term("rnd x"), {"x": T.NUM}, {"x": Fraction(1, 10)}
+        )
+        assert report.holds
+        assert report.rp_upper <= report.bound
+
+    def test_exact_value_has_zero_error(self):
+        report = check_error_soundness(
+            parse_term("rnd x"), {"x": T.NUM}, {"x": Fraction(1, 2)}
+        )
+        assert report.holds
+        assert report.rp_upper == 0
+
+    def test_pow4_composition(self):
+        source = "a = mul (x, x); let t = rnd a; b = mul (t, t); rnd b"
+        report = check_error_soundness(
+            parse_term(source), {"x": T.NUM}, {"x": Fraction(3, 7)}
+        )
+        assert report.holds
+        assert report.bound == 3 * Fraction(1, 2**52)
+
+    def test_division_heavy_program(self):
+        source = "a = div (x, y); let t = rnd a; b = div (t, x); rnd b"
+        report = check_error_soundness(
+            parse_term(source), {"x": T.NUM, "y": T.NUM},
+            {"x": Fraction(7, 10), "y": Fraction(13, 9)},
+        )
+        assert report.holds
+
+    def test_sqrt_program_with_slack(self):
+        source = "a = add (|x, 1|); let t = rnd a; s = sqrt t; rnd s"
+        report = check_error_soundness(
+            parse_term(source), {"x": T.NUM}, {"x": Fraction(1, 3)}
+        )
+        assert report.holds
+
+    def test_other_rounding_modes(self):
+        for mode in (RoundingMode.TOWARD_NEGATIVE, RoundingMode.NEAREST_EVEN, RoundingMode.TOWARD_ZERO):
+            report = check_error_soundness(
+                parse_term("s = mul (x, x); rnd s"),
+                {"x": T.NUM},
+                {"x": Fraction(1, 10)},
+                rounding=mode,
+            )
+            assert report.holds, mode
+
+    def test_lower_precision_still_sound(self):
+        # The grade eps is registered for binary64; analysing with eps but
+        # evaluating at binary32 must violate the bound, while evaluating at
+        # binary64 satisfies it -- this checks the test harness can see both sides.
+        term = parse_term("s = mul (x, y); rnd s")
+        skeleton = {"x": T.NUM, "y": T.NUM}
+        inputs = {"x": Fraction(1, 3), "y": Fraction(1, 7)}
+        sound = check_error_soundness(term, skeleton, inputs, precision=53)
+        unsound = check_error_soundness(term, skeleton, inputs, precision=24)
+        assert sound.holds
+        assert not unsound.holds
+
+
+class TestPropertyBased:
+    @given(x=positive_inputs)
+    @settings(max_examples=30, deadline=None)
+    def test_fma_bound_holds_for_random_inputs(self, x):
+        term = parse_term("a = mul (x, x); b = add (|a, 1|); rnd b")
+        report = check_error_soundness(term, {"x": T.NUM}, {"x": x})
+        assert report.holds
+
+    @given(x=positive_inputs, y=positive_inputs)
+    @settings(max_examples=30, deadline=None)
+    def test_division_bound_holds_for_random_inputs(self, x, y):
+        term = parse_term("a = add (|x, y|); let t = rnd a; b = div (x, t); rnd b")
+        report = check_error_soundness(term, {"x": T.NUM, "y": T.NUM}, {"x": x, "y": y})
+        assert report.holds
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_horner_bound_holds_for_random_inputs(self, data):
+        degree = data.draw(st.integers(min_value=1, max_value=6))
+        expression = horner_fma_expression(degree)
+        compiled = compile_expression(expression)
+        inputs = {
+            name: data.draw(positive_inputs) for name in compiled.skeleton
+        }
+        report = check_error_soundness(compiled.term, compiled.skeleton, inputs)
+        assert report.holds
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_serial_sum_bound_holds(self, data):
+        terms = data.draw(st.integers(min_value=2, max_value=10))
+        expression = serial_sum_expression(terms)
+        compiled = compile_expression(expression)
+        inputs = {name: data.draw(positive_inputs) for name in compiled.skeleton}
+        report = check_error_soundness(compiled.term, compiled.skeleton, inputs)
+        assert report.holds
+
+
+class TestBenchmarksAreSound:
+    @pytest.mark.parametrize(
+        "bench",
+        [b for b in table3_benchmarks() if b.expression is not None and b.name != "Horner2_with_error"],
+        ids=lambda b: b.name,
+    )
+    def test_table3_bound_holds_on_sample_inputs(self, bench):
+        inputs = bench.sample_inputs(seed=7)
+        report = check_error_soundness(bench.term, bench.skeleton, inputs)
+        assert report.holds, bench.name
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_hypot_multiple_samples(self, seed):
+        from repro.benchsuite.fpbench import small_benchmark
+
+        benchmark = small_benchmark("hypot")
+        inputs = benchmark.sample_inputs(seed=seed)
+        report = check_error_soundness(benchmark.term, benchmark.skeleton, inputs)
+        assert report.holds

@@ -1,0 +1,173 @@
+"""Tests for the big-step evaluators (ideal and floating-point semantics)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import ast as A
+from repro.core import types as T
+from repro.core.errors import EvaluationError, FloatingPointExceptionError
+from repro.core.parser import parse_term
+from repro.core.semantics import (
+    ErrV,
+    InlV,
+    InrV,
+    MonadicV,
+    NumV,
+    build_environment,
+    evaluate,
+    fp_config,
+    ideal_config,
+    lift_input,
+    run_both,
+    run_monadic,
+)
+from repro.floats.rounding import RoundingMode, round_to_precision
+
+
+def _env(**values):
+    return {name: NumV(Fraction(value)) for name, value in values.items()}
+
+
+class TestIdealSemantics:
+    def test_constant(self):
+        assert evaluate(A.Const("0.1")) == NumV(Fraction(1, 10))
+
+    def test_operation(self):
+        term = parse_term("mul (x, y)")
+        assert evaluate(term, _env(x=3, y="0.5")) == NumV(Fraction(3, 2))
+
+    def test_rnd_is_identity(self):
+        term = parse_term("rnd x")
+        value = evaluate(term, _env(x="0.1"), ideal_config())
+        assert value == MonadicV(NumV(Fraction(1, 10)))
+
+    def test_let_sequencing(self):
+        term = parse_term("s = add (|x, y|); t = mul (s, s); t")
+        assert evaluate(term, _env(x=1, y=2)) == NumV(Fraction(9))
+
+    def test_application(self):
+        term = parse_term("f = 2; add (|f, f|)")
+        assert evaluate(term) == NumV(Fraction(4))
+
+    def test_case_true_branch(self):
+        term = parse_term("if is_pos x then ret x else ret 1")
+        assert run_monadic(term, _env(x="0.5")) == Fraction(1, 2)
+
+    def test_case_false_branch(self):
+        term = parse_term("if gt (x, y) then ret x else ret y")
+        assert run_monadic(term, _env(x=1, y=2)) == Fraction(2)
+
+    def test_projections(self):
+        term = A.Proj(2, A.WithPair(A.Const(1), A.Const(2)))
+        assert evaluate(term) == NumV(Fraction(2))
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvaluationError):
+            evaluate(A.Var("missing"))
+
+    def test_stuck_application(self):
+        with pytest.raises(EvaluationError):
+            evaluate(A.App(A.Const(1), A.Const(2)))
+
+
+class TestFloatingPointSemantics:
+    def test_rnd_rounds_up(self):
+        term = parse_term("rnd x")
+        value = run_monadic(term, _env(x="0.1"), fp_config())
+        expected = round_to_precision(Fraction(1, 10), 53, RoundingMode.TOWARD_POSITIVE)
+        assert value == expected
+        assert value >= Fraction(1, 10)
+
+    def test_representable_value_is_unchanged(self):
+        term = parse_term("rnd x")
+        assert run_monadic(term, _env(x="0.5"), fp_config()) == Fraction(1, 2)
+
+    def test_operations_round_once(self):
+        term = parse_term("s = add (|x, y|); rnd s")
+        result = run_monadic(term, _env(x="0.1", y="0.2"), fp_config())
+        exact = Fraction(3, 10)
+        assert result != exact
+        assert abs(result - exact) / exact <= Fraction(1, 2**52)
+
+    def test_lower_precision_rounds_more(self):
+        term = parse_term("rnd x")
+        double = run_monadic(term, _env(x="0.1"), fp_config(precision=53))
+        single = run_monadic(term, _env(x="0.1"), fp_config(precision=24))
+        assert abs(single - Fraction(1, 10)) > abs(double - Fraction(1, 10))
+
+    def test_run_both_pairs_the_semantics(self):
+        term = parse_term("s = mul (x, x); rnd s")
+        ideal, approx = run_both(term, _env(x="0.1"))
+        assert ideal == Fraction(1, 100)
+        assert approx >= ideal
+        assert approx != ideal
+
+    def test_round_to_nearest_mode(self):
+        term = parse_term("rnd x")
+        value = run_monadic(
+            term, _env(x="0.1"), fp_config(rounding=RoundingMode.NEAREST_EVEN)
+        )
+        assert value == Fraction(float(0.1))
+
+
+class TestExceptionalSemantics:
+    def test_overflow_produces_err(self):
+        term = parse_term("s = mul (x, x); rnd s")
+        config = fp_config(exceptional=True)
+        env = _env(x=Fraction(2) ** 600)
+        value = evaluate(term, env, config)
+        assert isinstance(value, ErrV)
+
+    def test_err_propagates_through_let_bind(self):
+        term = parse_term("s = mul (x, x); let t = rnd s; u = add (|t, 1|); rnd u")
+        config = fp_config(exceptional=True)
+        value = evaluate(term, _env(x=Fraction(2) ** 600), config)
+        assert isinstance(value, ErrV)
+
+    def test_run_monadic_raises_on_err(self):
+        term = parse_term("s = mul (x, x); rnd s")
+        with pytest.raises(FloatingPointExceptionError):
+            run_monadic(term, _env(x=Fraction(2) ** 600), fp_config(exceptional=True))
+
+    def test_no_exception_for_normal_values(self):
+        term = parse_term("s = mul (x, x); rnd s")
+        value = run_monadic(term, _env(x=3), fp_config(exceptional=True))
+        assert value == Fraction(9)
+
+    def test_underflow_to_zero_is_exceptional(self):
+        term = parse_term("s = mul (x, y); rnd s")
+        env = _env(x=Fraction(1, 2**600), y=Fraction(1, 2**600))
+        config = fp_config(exceptional=True, rounding=RoundingMode.TOWARD_NEGATIVE)
+        value = evaluate(term, env, config)
+        assert isinstance(value, ErrV)
+
+
+class TestInputLifting:
+    def test_lift_plain_number(self):
+        assert lift_input("0.5", T.NUM) == NumV(Fraction(1, 2))
+
+    def test_lift_boxed(self):
+        value = lift_input(2, T.Bang(2, T.NUM))
+        assert value.value == NumV(Fraction(2))
+
+    def test_lift_monadic(self):
+        value = lift_input(2, T.Monadic(0, T.NUM))
+        assert value == MonadicV(NumV(Fraction(2)))
+
+    def test_lift_pairs(self):
+        value = lift_input((1, 2), T.TensorProduct(T.NUM, T.NUM))
+        assert value.left == NumV(Fraction(1))
+
+    def test_lift_bool(self):
+        assert lift_input(True, T.bool_type()) == InlV(A.UnitVal()) or isinstance(
+            lift_input(True, T.bool_type()), InlV
+        )
+
+    def test_build_environment_checks_names(self):
+        with pytest.raises(EvaluationError):
+            build_environment({"zz": 1}, {"x": T.NUM})
+
+    def test_build_environment(self):
+        env = build_environment({"x": "0.25"}, {"x": T.NUM})
+        assert env["x"] == NumV(Fraction(1, 4))

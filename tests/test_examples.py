@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion and prints what it promises."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(ROOT, "examples")
+SRC = os.path.join(ROOT, "src")
+
+
+def _run(script: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+        check=False,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_example():
+    output = _run("quickstart.py")
+    assert "binary64" in output
+    assert "FMA" in output and "MA" in output
+    assert "holds: True" in output
+
+
+@pytest.mark.slow
+def test_polynomial_evaluation_example():
+    output = _run("polynomial_evaluation.py")
+    assert "Horner" in output
+    assert "bound holds        : True" in output or "bound holds" in output
+
+
+@pytest.mark.slow
+def test_conditionals_and_formats_example():
+    output = _run("conditionals_and_formats.py")
+    assert "PythagoreanSum" in output
+    assert "err (overflow)" in output
+
+
+@pytest.mark.slow
+def test_stochastic_rounding_example():
+    output = _run("stochastic_rounding.py")
+    assert "Stochastic rounding" in output
+    assert "unbiased" in output

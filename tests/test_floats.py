@@ -1,0 +1,232 @@
+"""Tests for the IEEE-754 substrate: formats, rounding operators, ULP."""
+
+import math
+import struct
+from fractions import Fraction
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.floats import (
+    BINARY32,
+    BINARY64,
+    BINARY128,
+    RoundingMode,
+    StandardModel,
+    bits_of_error,
+    format_table,
+    relative_error,
+    round_to_format,
+    round_to_precision,
+    rounding_mode_table,
+    ulp,
+    ulp_error,
+    unit_roundoff,
+)
+from repro.floats.rounding import round_integer
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=1e-300, max_value=1e300
+)
+rationals = st.fractions(min_value=Fraction(1, 10**9), max_value=Fraction(10**9))
+
+
+class TestFormats:
+    def test_table1_parameters(self):
+        rows = {row["format"]: row for row in format_table()}
+        assert rows["binary32"]["p"] == 24 and rows["binary32"]["emax"] == 127
+        assert rows["binary64"]["p"] == 53 and rows["binary64"]["emax"] == 1023
+        assert rows["binary128"]["p"] == 113 and rows["binary128"]["emax"] == 16383
+        for row in rows.values():
+            assert row["emin"] == 1 - row["emax"]
+
+    def test_unit_roundoffs(self):
+        assert BINARY64.unit_roundoff_directed == Fraction(1, 2**52)
+        assert BINARY64.unit_roundoff_nearest == Fraction(1, 2**53)
+        assert BINARY32.unit_roundoff_directed == Fraction(1, 2**23)
+
+    def test_extreme_values_match_ieee(self):
+        assert float(BINARY64.largest_finite) == struct.unpack("<d", b"\xff\xff\xff\xff\xff\xff\xef\x7f")[0]
+        assert float(BINARY64.smallest_normal) == 2.2250738585072014e-308
+        assert float(BINARY64.smallest_subnormal) == 5e-324
+
+    def test_representability(self):
+        assert BINARY64.is_representable(Fraction(1, 2))
+        assert BINARY64.is_representable(Fraction(float(0.1)))
+        assert not BINARY64.is_representable(Fraction(1, 10))
+        assert not BINARY64.is_representable(BINARY64.largest_finite * 2)
+        assert BINARY64.is_representable(Fraction(0))
+
+    def test_table2_unit_roundoffs(self):
+        rows = {row["mode"]: row for row in rounding_mode_table(53)}
+        assert rows["RU"]["unit_roundoff"] == Fraction(1, 2**52)
+        assert rows["RN"]["unit_roundoff"] == Fraction(1, 2**53)
+        assert unit_roundoff(24, RoundingMode.TOWARD_POSITIVE) == Fraction(1, 2**23)
+
+
+class TestRoundInteger:
+    @pytest.mark.parametrize(
+        "value, mode, expected",
+        [
+            (Fraction(5, 2), RoundingMode.TOWARD_POSITIVE, 3),
+            (Fraction(5, 2), RoundingMode.TOWARD_NEGATIVE, 2),
+            (Fraction(5, 2), RoundingMode.NEAREST_EVEN, 2),
+            (Fraction(7, 2), RoundingMode.NEAREST_EVEN, 4),
+            (Fraction(-5, 2), RoundingMode.TOWARD_ZERO, -2),
+            (Fraction(-5, 2), RoundingMode.TOWARD_NEGATIVE, -3),
+            (Fraction(3), RoundingMode.TOWARD_POSITIVE, 3),
+        ],
+    )
+    def test_directed_and_nearest(self, value, mode, expected):
+        assert round_integer(value, mode) == expected
+
+
+class TestRoundToPrecision:
+    def test_round_up_is_an_upper_bound(self):
+        value = Fraction(1, 10)
+        rounded = round_to_precision(value, 53, RoundingMode.TOWARD_POSITIVE)
+        assert rounded >= value
+
+    def test_round_down_is_a_lower_bound(self):
+        value = Fraction(1, 10)
+        rounded = round_to_precision(value, 53, RoundingMode.TOWARD_NEGATIVE)
+        assert rounded <= value
+
+    def test_nearest_matches_python_float(self):
+        for text in ("0.1", "0.3", "2.675", "1e-5", "123.456"):
+            value = Fraction(text)
+            rounded = round_to_precision(value, 53, RoundingMode.NEAREST_EVEN)
+            assert rounded == Fraction(float(text))
+
+    def test_exact_values_unchanged(self):
+        for mode in RoundingMode:
+            assert round_to_precision(Fraction(3, 4), 53, mode) == Fraction(3, 4)
+
+    def test_zero(self):
+        assert round_to_precision(Fraction(0), 53, RoundingMode.TOWARD_POSITIVE) == 0
+
+    def test_negative_values_round_towards_positive(self):
+        value = Fraction(-1, 10)
+        rounded = round_to_precision(value, 53, RoundingMode.TOWARD_POSITIVE)
+        assert rounded >= value
+
+    @given(value=rationals)
+    @settings(max_examples=60, deadline=None)
+    def test_faithfulness(self, value):
+        """RD(x) <= x <= RU(x) and both are within one ulp of x."""
+        down = round_to_precision(value, 53, RoundingMode.TOWARD_NEGATIVE)
+        up = round_to_precision(value, 53, RoundingMode.TOWARD_POSITIVE)
+        assert down <= value <= up
+        assert up - down <= ulp(value)
+
+    @given(value=rationals)
+    @settings(max_examples=60, deadline=None)
+    def test_standard_model_bound(self, value):
+        """Equation (2): the relative error of one rounding is at most u."""
+        for mode in (RoundingMode.TOWARD_POSITIVE, RoundingMode.NEAREST_EVEN):
+            rounded = round_to_precision(value, 53, mode)
+            u = unit_roundoff(53, mode)
+            assert relative_error(value, rounded) <= u
+
+    @given(value=rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_agrees_with_python(self, value):
+        rounded = round_to_precision(value, 53, RoundingMode.NEAREST_EVEN)
+        assert float(rounded) == float(value)
+
+    @given(a=rationals, b=rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_monotonicity(self, a, b):
+        assume(a <= b)
+        for mode in (RoundingMode.TOWARD_POSITIVE, RoundingMode.TOWARD_NEGATIVE):
+            assert round_to_precision(a, 53, mode) <= round_to_precision(b, 53, mode)
+
+    @given(value=rationals)
+    @settings(max_examples=40, deadline=None)
+    def test_idempotence(self, value):
+        for mode in RoundingMode:
+            once = round_to_precision(value, 53, mode)
+            assert round_to_precision(once, 53, mode) == once
+
+
+class TestRoundToFormat:
+    def test_normal_value(self):
+        result = round_to_format(Fraction(1, 10), BINARY64, RoundingMode.NEAREST_EVEN)
+        assert result.value == Fraction(float(0.1))
+        assert result.inexact and not result.underflow and not result.overflow
+
+    def test_overflow_to_infinity(self):
+        result = round_to_format(BINARY64.largest_finite * 2, BINARY64, RoundingMode.TOWARD_POSITIVE)
+        assert result.overflow and result.value is None
+        assert result.is_exceptional
+
+    def test_overflow_saturates_for_directed_down(self):
+        result = round_to_format(BINARY64.largest_finite * 2, BINARY64, RoundingMode.TOWARD_NEGATIVE)
+        assert result.value == BINARY64.largest_finite
+        assert not result.is_exceptional
+
+    def test_subnormal_result_flags_underflow(self):
+        tiny = BINARY64.smallest_normal / 3
+        result = round_to_format(tiny, BINARY64, RoundingMode.NEAREST_EVEN)
+        assert result.underflow
+        assert result.value is not None and result.value > 0
+
+    def test_underflow_to_zero_is_exceptional(self):
+        result = round_to_format(
+            BINARY64.smallest_subnormal / 4, BINARY64, RoundingMode.TOWARD_NEGATIVE
+        )
+        assert result.value == 0 and result.is_exceptional
+
+    def test_binary32_rounding(self):
+        result = round_to_format(Fraction(1, 10), BINARY32, RoundingMode.NEAREST_EVEN)
+        assert float(result.value) == struct.unpack("<f", struct.pack("<f", 0.1))[0]
+
+    @given(value=finite_doubles)
+    @settings(max_examples=50, deadline=None)
+    def test_doubles_are_fixed_points(self, value):
+        fraction = Fraction(value)
+        result = round_to_format(fraction, BINARY64, RoundingMode.NEAREST_EVEN)
+        assert result.value == fraction
+        assert not result.inexact
+
+
+class TestUlp:
+    def test_ulp_of_one(self):
+        assert ulp(Fraction(1), BINARY64) == Fraction(1, 2**52)
+
+    def test_ulp_error_counts_grid_points(self):
+        x = Fraction(1)
+        y = Fraction(1) + Fraction(3, 2**52)
+        assert ulp_error(x, y, BINARY64) == 3
+
+    def test_ulp_error_zero_for_equal(self):
+        assert ulp_error(Fraction(1, 3), Fraction(1, 3)) == 0
+
+    def test_bits_of_error(self):
+        x = Fraction(1)
+        y = Fraction(1) + Fraction(8, 2**52)
+        assert bits_of_error(x, y, BINARY64) == pytest.approx(3.0)
+
+    def test_ulp_error_across_binades(self):
+        # Between 1 and 2 there are 2^52 representable steps.
+        assert ulp_error(Fraction(1), Fraction(2), BINARY64) == 2**52
+
+
+class TestStandardModel:
+    def test_operations_round(self):
+        model = StandardModel()
+        assert model.add(Fraction(1, 10), Fraction(2, 10)) >= Fraction(3, 10)
+        assert model.mul(Fraction(1, 3), Fraction(3)) == Fraction(
+            round_to_precision(Fraction(1), 53, RoundingMode.TOWARD_POSITIVE)
+        )
+
+    def test_delta_is_bounded_by_unit_roundoff(self):
+        model = StandardModel()
+        delta = model.delta(Fraction(1, 3))
+        assert abs(delta) <= model.unit_roundoff
+
+    def test_sqrt_is_correctly_rounded_upwards(self):
+        model = StandardModel()
+        result = model.sqrt(Fraction(2))
+        assert result * result >= 2
+        assert relative_error(Fraction(2), result * result) <= 3 * model.unit_roundoff

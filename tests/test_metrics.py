@@ -1,0 +1,246 @@
+"""Tests for the metric-space substrate: axioms, constructions, non-expansiveness."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import types as T
+from repro.core.grades import EPS, INFINITY
+from repro.metrics import (
+    ABS_METRIC,
+    CoproductSpace,
+    DiscreteMetric,
+    FunctionSpace,
+    NeighborhoodSpace,
+    ProductSpace,
+    RP_METRIC,
+    RelativeErrorDistance,
+    ScaledSpace,
+    SingletonSpace,
+    TensorSpace,
+    UlpDistance,
+    is_infinite,
+    is_non_expansive,
+    space_of_type,
+)
+
+positive = st.fractions(min_value=Fraction(1, 1000), max_value=Fraction(1000)).filter(lambda q: q > 0)
+reals = st.fractions(min_value=Fraction(-1000), max_value=Fraction(1000))
+
+
+def _upper(metric, a, b) -> Fraction:
+    low, high = metric.distance_enclosure(a, b)
+    assert not is_infinite(high)
+    return Fraction(high)
+
+
+class TestRPMetricAxioms:
+    @given(x=positive)
+    @settings(max_examples=40, deadline=None)
+    def test_reflexivity(self, x):
+        low, high = RP_METRIC.distance_enclosure(x, x)
+        assert low == 0 and high == 0
+
+    @given(x=positive, y=positive)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, x, y):
+        # The true distance is symmetric; the rational enclosures of the two
+        # directions may differ by (at most) their width.
+        forward_low, forward_high = RP_METRIC.distance_enclosure(x, y)
+        backward_low, backward_high = RP_METRIC.distance_enclosure(y, x)
+        slack = Fraction(1, 10**25)
+        assert Fraction(forward_high) <= Fraction(backward_high) + slack
+        assert Fraction(backward_high) <= Fraction(forward_high) + slack
+        assert Fraction(forward_low) <= Fraction(backward_high)
+        assert Fraction(backward_low) <= Fraction(forward_high)
+
+    @given(x=positive, y=positive, z=positive)
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, x, y, z):
+        direct_low, _ = RP_METRIC.distance_enclosure(x, z)
+        _, via_y_1 = RP_METRIC.distance_enclosure(x, y)
+        _, via_y_2 = RP_METRIC.distance_enclosure(y, z)
+        assert Fraction(direct_low) <= Fraction(via_y_1) + Fraction(via_y_2)
+
+    def test_negative_values_are_outside_the_carrier(self):
+        assert not RP_METRIC.contains(Fraction(-1))
+        assert not RP_METRIC.contains(Fraction(0))
+        low, high = RP_METRIC.distance_enclosure(Fraction(-1), Fraction(1))
+        assert is_infinite(high)
+
+    def test_within_and_exceeds(self):
+        x = Fraction(1)
+        y = x * (1 + Fraction(1, 2**52))
+        assert RP_METRIC.within(x, y, Fraction(1, 2**51))
+        assert RP_METRIC.exceeds(x, y, Fraction(1, 2**54))
+
+
+class TestOtherNumericMetrics:
+    @given(x=reals, y=reals)
+    @settings(max_examples=40, deadline=None)
+    def test_absolute_metric(self, x, y):
+        assert _upper(ABS_METRIC, x, y) == abs(x - y)
+
+    def test_relative_error_distance_is_asymmetric(self):
+        metric = RelativeErrorDistance()
+        assert _upper(metric, Fraction(1), Fraction(2)) == 1
+        assert _upper(metric, Fraction(2), Fraction(1)) == Fraction(1, 2)
+
+    def test_relative_error_not_a_metric_triangle_fails(self):
+        # Documented failure: relative error violates the triangle inequality
+        # (one reason the paper adopts Olver's RP metric instead).
+        metric = RelativeErrorDistance()
+        x, y, z = Fraction(1), Fraction(2), Fraction(3)
+        direct = _upper(metric, x, z)
+        via = _upper(metric, x, y) + _upper(metric, y, z)
+        assert direct > via
+
+    def test_ulp_distance(self):
+        metric = UlpDistance()
+        assert _upper(metric, Fraction(1), Fraction(1) + Fraction(1, 2**52)) == 1
+
+    def test_discrete_metric(self):
+        metric = DiscreteMetric()
+        assert _upper(metric, "a", "a") == 0
+        assert is_infinite(metric.distance_enclosure("a", "b")[1])
+
+
+class TestConstructions:
+    def test_singleton(self):
+        space = SingletonSpace()
+        assert space.contains("*")
+        assert _upper(space, "*", "*") == 0
+
+    def test_product_uses_max(self):
+        space = ProductSpace(ABS_METRIC, ABS_METRIC)
+        assert _upper(space, (0, 0), (1, 3)) == 3
+
+    def test_tensor_uses_sum(self):
+        space = TensorSpace(ABS_METRIC, ABS_METRIC)
+        assert _upper(space, (0, 0), (1, 3)) == 4
+
+    def test_coproduct_same_injection(self):
+        space = CoproductSpace(ABS_METRIC, ABS_METRIC)
+        assert _upper(space, ("inl", 1), ("inl", 3)) == 2
+
+    def test_coproduct_different_injections_are_infinitely_apart(self):
+        space = CoproductSpace(ABS_METRIC, ABS_METRIC)
+        assert is_infinite(space.distance_enclosure(("inl", 1), ("inr", 1))[1])
+
+    def test_scaled_space(self):
+        space = ScaledSpace(3, ABS_METRIC)
+        assert _upper(space, 0, 2) == 6
+
+    def test_scaled_space_zero_times_infinity(self):
+        space = ScaledSpace(0, DiscreteMetric())
+        low, high = space.distance_enclosure("a", "b")
+        assert high == 0
+
+    def test_scaled_space_infinite_factor(self):
+        space = ScaledSpace(INFINITY, ABS_METRIC)
+        assert is_infinite(space.distance_enclosure(0, 1)[1])
+        assert space.distance_enclosure(1, 1)[1] == 0
+
+    def test_neighborhood_carrier(self):
+        space = NeighborhoodSpace(EPS, RP_METRIC)
+        x = Fraction(1, 3)
+        good = (x, x * (1 + Fraction(1, 2**53)))
+        bad = (x, x * 2)
+        assert space.contains(good)
+        assert not space.contains(bad)
+
+    def test_neighborhood_metric_compares_ideal_components(self):
+        space = NeighborhoodSpace(INFINITY, ABS_METRIC)
+        assert _upper(space, (1, 100), (3, -100)) == 2
+
+    def test_function_space_sup_over_probes(self):
+        space = FunctionSpace(ABS_METRIC, ABS_METRIC, probes=[0, 1, 2])
+        f = lambda x: x
+        g = lambda x: x + x
+        assert _upper(space, f, g) == 2
+
+
+class TestTypeInterpretation:
+    def test_num(self):
+        assert space_of_type(T.NUM) is RP_METRIC
+
+    def test_monadic_type(self):
+        space = space_of_type(T.Monadic(EPS, T.NUM))
+        assert isinstance(space, NeighborhoodSpace)
+        assert space.grade == EPS
+
+    def test_nested_type(self):
+        tau = T.Bang(2, T.TensorProduct(T.NUM, T.NUM))
+        space = space_of_type(tau)
+        assert isinstance(space, ScaledSpace)
+        assert isinstance(space.inner, TensorSpace)
+
+    def test_with_product_metric(self):
+        space = space_of_type(T.WithProduct(T.NUM, T.NUM))
+        a = (Fraction(1), Fraction(1))
+        b = (Fraction(2), Fraction(1))
+        low, high = space.distance_enclosure(a, b)
+        assert high > 0
+
+
+class TestNonExpansiveness:
+    """Olver's properties: the primitive operations are non-expansive for RP."""
+
+    pairs = st.tuples(positive, positive)
+
+    #: Slack absorbing the (tiny) width of the rational log enclosures when
+    #: the input and output distances coincide exactly.
+    _SLACK = Fraction(1, 10**25)
+
+    @given(a=pairs, b=pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_addition_non_expansive_for_with_metric(self, a, b):
+        space = ProductSpace(RP_METRIC, RP_METRIC)
+        _, in_high = space.distance_enclosure(a, b)
+        _, out_high = RP_METRIC.distance_enclosure(a[0] + a[1], b[0] + b[1])
+        assert Fraction(out_high) <= Fraction(in_high) + self._SLACK
+
+    @given(a=pairs, b=pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplication_non_expansive_for_tensor_metric(self, a, b):
+        space = TensorSpace(RP_METRIC, RP_METRIC)
+        _, in_high = space.distance_enclosure(a, b)
+        _, out_high = RP_METRIC.distance_enclosure(a[0] * a[1], b[0] * b[1])
+        assert Fraction(out_high) <= Fraction(in_high) + self._SLACK
+
+    @given(a=pairs, b=pairs)
+    @settings(max_examples=40, deadline=None)
+    def test_division_non_expansive_for_tensor_metric(self, a, b):
+        space = TensorSpace(RP_METRIC, RP_METRIC)
+        _, in_high = space.distance_enclosure(a, b)
+        _, out_high = RP_METRIC.distance_enclosure(a[0] / a[1], b[0] / b[1])
+        assert Fraction(out_high) <= Fraction(in_high) + self._SLACK
+
+    def test_non_expansiveness_helper_on_distinct_ratios(self):
+        space = ProductSpace(RP_METRIC, RP_METRIC)
+        func = lambda pair: pair[0] + pair[1]
+        probe_pairs = [((Fraction(1), Fraction(2)), (Fraction(3), Fraction(2)))]
+        assert is_non_expansive(func, space, RP_METRIC, probe_pairs)
+
+    @given(x=positive, y=positive)
+    @settings(max_examples=40, deadline=None)
+    def test_sqrt_is_half_sensitive(self, x, y):
+        from repro.floats.exactmath import sqrt_round
+
+        scaled_domain = ScaledSpace(Fraction(1, 2), RP_METRIC)
+        func = lambda value: sqrt_round(value, 200, "RN")
+        # d(sqrt x, sqrt y) <= (1/2) d(x, y) up to the 2^-200 rounding slack.
+        _, out_high = RP_METRIC.distance_enclosure(func(x), func(y))
+        in_low, _ = scaled_domain.distance_enclosure(x, y)
+        # Slack: the 2^-200 sqrt rounding plus the width of the rational log
+        # enclosures (~1e-40 when the ratio needs ln2 argument reduction).
+        assert Fraction(out_high) <= Fraction(in_low) + Fraction(1, 10**30)
+
+    def test_multiplication_is_not_non_expansive_for_max_metric(self):
+        # The reason mul takes a tensor pair: squaring doubles RP distances.
+        space = ProductSpace(RP_METRIC, RP_METRIC)
+        func = lambda pair: pair[0] * pair[1]
+        a = (Fraction(1), Fraction(1))
+        b = (Fraction(2), Fraction(2))
+        assert not is_non_expansive(func, space, RP_METRIC, [(a, b)])

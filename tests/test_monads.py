@@ -1,0 +1,304 @@
+"""Tests for the graded neighborhood monad and its Section 7 extensions."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.grades import EPS, INFINITY
+from repro.metrics import ABS_METRIC, RP_METRIC
+from repro.monads import (
+    EXCEPTIONAL,
+    BestCaseProbabilisticMonad,
+    ExceptionalNeighborhoodMonad,
+    ExpectedProbabilisticMonad,
+    MayNondeterministicMonad,
+    MustNondeterministicMonad,
+    NeighborhoodMonad,
+    StateMonad,
+    WorstCaseProbabilisticMonad,
+    point_distribution,
+    stochastic_rounding_distribution,
+    uniform_distribution,
+)
+
+positive = st.fractions(min_value=Fraction(1, 100), max_value=Fraction(100)).filter(lambda q: q > 0)
+small = st.fractions(min_value=Fraction(-10), max_value=Fraction(10))
+
+
+class TestNeighborhoodMonad:
+    monad = NeighborhoodMonad(ABS_METRIC)
+
+    def test_unit_lands_in_grade_zero(self):
+        assert self.monad.contains(self.monad.unit(Fraction(3)), 0)
+
+    def test_carrier_respects_grade(self):
+        assert self.monad.contains((Fraction(1), Fraction(2)), 1)
+        assert not self.monad.contains((Fraction(1), Fraction(3)), 1)
+
+    def test_infinite_grade_accepts_everything(self):
+        assert self.monad.contains((Fraction(0), Fraction(10**9)), INFINITY)
+
+    def test_multiplication_projects_outer_ideal_and_inner_approx(self):
+        nested = ((Fraction(1), Fraction(2)), (Fraction(3), Fraction(4)))
+        assert self.monad.multiplication(nested) == (Fraction(1), Fraction(4))
+
+    @given(x=small, y=small, q=small, r=small)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplication_grade_adds(self, x, y, q, r):
+        # (x, y) in T_q and (x', y') in T_r with d(x, x') <= q  => result in T_{q+r}.
+        q, r = abs(q), abs(r)
+        inner_1 = (x, x + q)       # within q of itself? d = q
+        inner_2 = (x + q, x + q + r)
+        assert self.monad.contains(inner_1, q)
+        assert self.monad.contains(inner_2, r)
+        result = self.monad.multiplication((inner_1, inner_2))
+        assert self.monad.contains(result, q + r)
+
+    def test_map_applies_componentwise(self):
+        pair = (Fraction(1), Fraction(2))
+        assert self.monad.map(lambda v: v * 10, pair) == (Fraction(10), Fraction(20))
+
+    def test_map_of_non_expansive_function_preserves_grade(self):
+        pair = (Fraction(1), Fraction(2))
+        mapped = self.monad.map(lambda v: v + 5, pair)
+        assert self.monad.contains(mapped, 1)
+
+    def test_subgrade_coercion(self):
+        pair = (Fraction(1), Fraction(1))
+        assert self.monad.subgrade(pair, 0, 1) == pair
+        with pytest.raises(ValueError):
+            self.monad.subgrade(pair, 1, 0)
+
+    def test_strength(self):
+        assert self.monad.strength("a", (1, 2)) == (("a", 1), ("a", 2))
+
+    def test_distributive_law(self):
+        pair = (Fraction(1), Fraction(2))
+        assert self.monad.distributive(pair, 3, 1) == pair
+
+    def test_left_unit_law(self):
+        # μ ∘ η_T = id : T_r -> T_r
+        pair = (Fraction(1), Fraction(2))
+        assert self.monad.multiplication((self.monad.unit(pair[0]), pair)) == pair
+
+    def test_right_unit_law(self):
+        # μ ∘ T η = id (map the unit inside, then flatten).
+        pair = (Fraction(1), Fraction(2))
+        nested = self.monad.map(self.monad.unit, pair)
+        assert self.monad.multiplication(nested) == pair
+
+    def test_associativity_law(self):
+        level3 = (((1, 2), (3, 4)), ((5, 6), (7, 8)))
+        flatten_outer_first = self.monad.multiplication(
+            (self.monad.multiplication(level3[0]), self.monad.multiplication(level3[1]))
+        )
+        mapped_inner = self.monad.map(self.monad.multiplication, level3)
+        flatten_inner_first = self.monad.multiplication(mapped_inner)
+        assert flatten_outer_first == flatten_inner_first
+
+    def test_bind_models_pow4(self):
+        monad = NeighborhoodMonad(RP_METRIC)
+        rp = RP_METRIC
+
+        def pow2_rounded(value: Fraction):
+            from repro.floats.rounding import RoundingMode, round_to_precision
+
+            exact = value * value
+            return (exact, round_to_precision(exact, 53, RoundingMode.TOWARD_POSITIVE))
+
+        start = Fraction(3, 7)
+        first = pow2_rounded(start)
+        result = monad.bind(first, pow2_rounded)
+        # Grade bound 3*eps from the paper's Section 2.3 diagram.
+        assert monad.grade_of(result) <= 3 * Fraction(1, 2**52)
+
+    def test_grade_of_requires_finite_distance(self):
+        monad = NeighborhoodMonad(RP_METRIC)
+        with pytest.raises(ValueError):
+            monad.grade_of((Fraction(1), Fraction(-1)))
+
+
+class TestExceptionalMonad:
+    monad = ExceptionalNeighborhoodMonad(ABS_METRIC)
+
+    def test_exceptional_is_always_in_the_carrier(self):
+        assert self.monad.contains((Fraction(1), EXCEPTIONAL), 0)
+
+    def test_normal_pairs_respect_grade(self):
+        assert self.monad.contains((Fraction(1), Fraction(2)), 1)
+        assert not self.monad.contains((Fraction(1), Fraction(5)), 1)
+
+    def test_map_preserves_exception(self):
+        assert self.monad.map(lambda v: v + 1, (Fraction(1), EXCEPTIONAL)) == (
+            Fraction(2),
+            EXCEPTIONAL,
+        )
+
+    def test_multiplication_propagates_exception(self):
+        assert self.monad.multiplication(((Fraction(1), Fraction(2)), EXCEPTIONAL)) == (
+            Fraction(1),
+            EXCEPTIONAL,
+        )
+
+    def test_bind_propagates_exception(self):
+        result = self.monad.bind(
+            (Fraction(1), EXCEPTIONAL), lambda v: (v * 2, v * 2 + Fraction(1, 4))
+        )
+        assert result == (Fraction(2), EXCEPTIONAL)
+
+    def test_bind_without_exception(self):
+        result = self.monad.bind(
+            (Fraction(1), Fraction(2)), lambda v: (v, v + Fraction(1, 2))
+        )
+        assert result == (Fraction(1), Fraction(5, 2))
+
+    def test_distance_to_exceptional_is_zero(self):
+        assert self.monad.distance((Fraction(1), EXCEPTIONAL), (Fraction(9), Fraction(9)))[1] == 0
+
+
+class TestNondeterministicMonads:
+    must = MustNondeterministicMonad(ABS_METRIC)
+    may = MayNondeterministicMonad(ABS_METRIC)
+
+    def test_unit(self):
+        element = self.must.unit(Fraction(2))
+        assert element == (Fraction(2), frozenset({Fraction(2)}))
+        assert self.must.contains(element, 0)
+
+    def test_must_requires_all_outcomes_close(self):
+        element = (Fraction(0), frozenset({Fraction(1), Fraction(5)}))
+        assert not self.must.contains(element, 2)
+        assert self.must.contains(element, 5)
+
+    def test_may_requires_one_outcome_close(self):
+        element = (Fraction(0), frozenset({Fraction(1), Fraction(5)}))
+        assert self.may.contains(element, 2)
+        assert not self.may.contains(element, Fraction(1, 2))
+
+    def test_multiplication_unions_candidates(self):
+        inner_a = (Fraction(1), frozenset({Fraction(1), Fraction(2)}))
+        inner_b = (Fraction(2), frozenset({Fraction(3)}))
+        outer = ((Fraction(1), frozenset({Fraction(1)})), frozenset({inner_a, inner_b}))
+        ideal, candidates = self.must.multiplication(outer)
+        assert ideal == Fraction(1)
+        assert candidates == {Fraction(1), Fraction(2), Fraction(3)}
+
+    def test_bind_grade_composition(self):
+        # Ties resolved non-deterministically: both neighbours are possible.
+        element = (Fraction(0), frozenset({Fraction(0), Fraction(1)}))
+
+        def step(value):
+            return (value, frozenset({value, value + 1}))
+
+        result = self.must.bind(element, step)
+        assert self.must.contains(result, 2)
+        assert not self.must.contains(result, 1)
+
+    def test_map(self):
+        element = (Fraction(1), frozenset({Fraction(1), Fraction(2)}))
+        mapped = self.may.map(lambda v: v * 2, element)
+        assert mapped == (Fraction(2), frozenset({Fraction(2), Fraction(4)}))
+
+
+class TestStateMonad:
+    monad = StateMonad(ABS_METRIC, states=["RU", "RD"])
+
+    def test_unit_ignores_state(self):
+        element = self.monad.unit(Fraction(1))
+        assert self.monad.run(element, "RU") == ("RU", Fraction(1))
+        assert self.monad.contains(element, 0)
+
+    def test_contains_quantifies_over_all_states(self):
+        element = (
+            Fraction(0),
+            lambda state: (state, Fraction(1) if state == "RU" else Fraction(3)),
+        )
+        assert self.monad.contains(element, 3)
+        assert not self.monad.contains(element, 2)
+
+    def test_bind_threads_state(self):
+        counter = (Fraction(0), lambda state: (state + 1, Fraction(0)))
+
+        def add_state_dependent(value):
+            return (value, lambda state: (state, value + state))
+
+        monad = StateMonad(ABS_METRIC, states=[0, 1, 2])
+        result = monad.bind(counter, add_state_dependent)
+        final_state, final_value = monad.run(result, 0)
+        assert final_state == 1
+        assert final_value == Fraction(1)
+
+    def test_map(self):
+        element = self.monad.unit(Fraction(2))
+        mapped = self.monad.map(lambda v: v * 3, element)
+        assert self.monad.run(mapped, "RD")[1] == Fraction(6)
+
+
+class TestProbabilisticMonads:
+    worst = WorstCaseProbabilisticMonad(ABS_METRIC)
+    best = BestCaseProbabilisticMonad(ABS_METRIC)
+    expected = ExpectedProbabilisticMonad(ABS_METRIC)
+
+    def test_point_distribution_is_grade_zero(self):
+        element = self.worst.unit(Fraction(1))
+        assert self.worst.contains(element, 0)
+        assert self.expected.contains(element, 0)
+
+    def test_worst_case_needs_all_outcomes(self):
+        element = (Fraction(0), {Fraction(1): Fraction(1, 2), Fraction(3): Fraction(1, 2)})
+        assert not self.worst.contains(element, 2)
+        assert self.worst.contains(element, 3)
+
+    def test_best_case_needs_one_outcome(self):
+        element = (Fraction(0), {Fraction(1): Fraction(1, 2), Fraction(3): Fraction(1, 2)})
+        assert self.best.contains(element, 1)
+
+    def test_expected_distance_is_the_mean(self):
+        element = (Fraction(0), {Fraction(1): Fraction(1, 2), Fraction(3): Fraction(1, 2)})
+        assert self.expected.expected_distance(element) == Fraction(2)
+        assert self.expected.contains(element, 2)
+        assert not self.expected.contains(element, Fraction(3, 2))
+
+    def test_uniform_distribution_normalises(self):
+        distribution = uniform_distribution([1, 1, 2, 3])
+        assert sum(distribution.values()) == 1
+        assert distribution[1] == Fraction(1, 2)
+
+    def test_stochastic_rounding_is_unbiased(self):
+        value = Fraction(1, 10)
+        distribution = stochastic_rounding_distribution(value, precision=53)
+        mean = sum(outcome * p for outcome, p in distribution.items())
+        assert mean == value
+        assert len(distribution) == 2
+
+    def test_stochastic_rounding_of_representable_value(self):
+        value = Fraction(1, 2)
+        assert stochastic_rounding_distribution(value) == point_distribution(value)
+
+    def test_stochastic_rounding_expected_grade(self):
+        value = Fraction(1, 10)
+        element = (value, stochastic_rounding_distribution(value))
+        # Every outcome is within one ulp, so the expected distance is too.
+        from repro.floats.ulp import ulp
+
+        assert self.expected.contains(element, ulp(value))
+        assert self.worst.contains(element, ulp(value))
+
+    def test_map_pushes_distribution_forward(self):
+        element = (Fraction(1), uniform_distribution([Fraction(1), Fraction(2)]))
+        mapped = self.expected.map(lambda v: v * 2, element)
+        assert mapped[1] == {Fraction(2): Fraction(1, 2), Fraction(4): Fraction(1, 2)}
+
+    def test_bind_composes_expected_grades(self):
+        element = (Fraction(0), {Fraction(0): Fraction(1, 2), Fraction(2): Fraction(1, 2)})
+
+        def noisy_increment(value):
+            return (value + 1, {value + 1: Fraction(1, 2), value + 2: Fraction(1, 2)})
+
+        result = self.expected.bind(element, noisy_increment)
+        assert result[0] == Fraction(1)
+        assert sum(result[1].values()) == 1
+        # element has expected distance 1; noisy_increment adds expected 1/2
+        # relative to its own ideal; 1-sensitivity composes to 3/2.
+        assert self.expected.expected_distance(result) <= Fraction(3, 2)

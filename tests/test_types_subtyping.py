@@ -1,0 +1,136 @@
+"""Tests for the type syntax, subtyping (Fig. 12) and the max/min lattice (Fig. 11)."""
+
+import pytest
+
+from repro.core.grades import EPS, INFINITY
+from repro.core.errors import TypeJoinError
+from repro.core.subtyping import is_subtype, join, meet, check_subtype
+from repro.core.types import (
+    Arrow,
+    Bang,
+    Monadic,
+    NUM,
+    SumType,
+    TensorProduct,
+    UNIT,
+    WithProduct,
+    bool_type,
+    is_boolean,
+)
+
+
+class TestTypeEquality:
+    def test_base_types(self):
+        assert NUM == NUM
+        assert UNIT == UNIT
+        assert NUM != UNIT
+
+    def test_structural_equality(self):
+        assert TensorProduct(NUM, NUM) == TensorProduct(NUM, NUM)
+        assert WithProduct(NUM, NUM) != TensorProduct(NUM, NUM)
+
+    def test_graded_equality_uses_grade(self):
+        assert Monadic(EPS, NUM) == Monadic(EPS, NUM)
+        assert Monadic(EPS, NUM) != Monadic(2 * EPS, NUM)
+        assert Bang(2, NUM) == Bang(2, NUM)
+        assert Bang(2, NUM) != Bang(3, NUM)
+
+    def test_types_are_hashable(self):
+        assert len({NUM, NUM, Monadic(EPS, NUM), Monadic(EPS, NUM)}) == 2
+
+    def test_bool_encoding(self):
+        assert bool_type() == SumType(UNIT, UNIT)
+        assert is_boolean(bool_type())
+        assert not is_boolean(SumType(NUM, UNIT))
+
+    def test_rendering(self):
+        assert str(Monadic(2 * EPS, NUM)) == "M[2*eps]num"
+        assert str(Bang(2, NUM)) == "![2]num"
+        assert str(Arrow(NUM, NUM)) == "(num -o num)"
+
+
+class TestSubtyping:
+    def test_reflexive_on_bases(self):
+        assert is_subtype(NUM, NUM)
+        assert is_subtype(UNIT, UNIT)
+        assert not is_subtype(NUM, UNIT)
+
+    def test_monadic_grade_covariant(self):
+        assert is_subtype(Monadic(EPS, NUM), Monadic(2 * EPS, NUM))
+        assert not is_subtype(Monadic(2 * EPS, NUM), Monadic(EPS, NUM))
+
+    def test_monadic_infinite_grade_is_top(self):
+        assert is_subtype(Monadic(EPS, NUM), Monadic(INFINITY, NUM))
+
+    def test_bang_grade_contravariant(self):
+        # !_{s'} σ ⊑ !_s σ' requires s <= s' (a 3-sensitive promise can be used
+        # where only 2-sensitivity is required).
+        assert is_subtype(Bang(3, NUM), Bang(2, NUM))
+        assert not is_subtype(Bang(2, NUM), Bang(3, NUM))
+
+    def test_arrow_contravariant_argument(self):
+        sub = Arrow(Bang(2, NUM), Monadic(EPS, NUM))
+        sup = Arrow(Bang(3, NUM), Monadic(2 * EPS, NUM))
+        assert is_subtype(sub, sup)
+        assert not is_subtype(sup, sub)
+
+    def test_products_covariant(self):
+        assert is_subtype(
+            TensorProduct(Monadic(EPS, NUM), NUM),
+            TensorProduct(Monadic(2 * EPS, NUM), NUM),
+        )
+        assert is_subtype(
+            WithProduct(Monadic(EPS, NUM), NUM),
+            WithProduct(Monadic(2 * EPS, NUM), NUM),
+        )
+
+    def test_sum_covariant(self):
+        assert is_subtype(
+            SumType(Monadic(EPS, NUM), UNIT), SumType(Monadic(2 * EPS, NUM), UNIT)
+        )
+
+    def test_mismatched_shapes(self):
+        assert not is_subtype(TensorProduct(NUM, NUM), WithProduct(NUM, NUM))
+        assert not is_subtype(Arrow(NUM, NUM), NUM)
+
+    def test_check_subtype_raises(self):
+        with pytest.raises(TypeJoinError):
+            check_subtype(Monadic(2 * EPS, NUM), Monadic(EPS, NUM))
+
+
+class TestJoinMeet:
+    def test_join_monadic_takes_max_grade(self):
+        assert join(Monadic(EPS, NUM), Monadic(2 * EPS, NUM)) == Monadic(2 * EPS, NUM)
+
+    def test_meet_monadic_takes_min_grade(self):
+        assert meet(Monadic(EPS, NUM), Monadic(2 * EPS, NUM)) == Monadic(EPS, NUM)
+
+    def test_join_bang_takes_min_sensitivity(self):
+        assert join(Bang(2, NUM), Bang(3, NUM)) == Bang(2, NUM)
+
+    def test_meet_bang_takes_max_sensitivity(self):
+        assert meet(Bang(2, NUM), Bang(3, NUM)) == Bang(3, NUM)
+
+    def test_join_arrow_flips_argument(self):
+        left = Arrow(Bang(2, NUM), Monadic(EPS, NUM))
+        right = Arrow(Bang(3, NUM), Monadic(2 * EPS, NUM))
+        assert join(left, right) == Arrow(Bang(3, NUM), Monadic(2 * EPS, NUM))
+        assert meet(left, right) == Arrow(Bang(2, NUM), Monadic(EPS, NUM))
+
+    def test_join_is_an_upper_bound(self):
+        left = Monadic(EPS, TensorProduct(NUM, NUM))
+        right = Monadic(3 * EPS, TensorProduct(NUM, NUM))
+        upper = join(left, right)
+        assert is_subtype(left, upper) and is_subtype(right, upper)
+
+    def test_meet_is_a_lower_bound(self):
+        left = Monadic(EPS, NUM)
+        right = Monadic(3 * EPS, NUM)
+        lower = meet(left, right)
+        assert is_subtype(lower, left) and is_subtype(lower, right)
+
+    def test_join_incompatible_raises(self):
+        with pytest.raises(TypeJoinError):
+            join(NUM, UNIT)
+        with pytest.raises(TypeJoinError):
+            meet(TensorProduct(NUM, NUM), NUM)
