@@ -9,21 +9,31 @@ from .analyzer import (
     analyze_term,
     check_error_soundness,
 )
+from .batch import BatchAnalyzer, BatchItem, BatchResult, ProgramReport, discover_items
 from .bounds import (
     relative_error_from_rp,
     relative_error_from_rp_linear,
     rp_bound_value,
     rp_from_relative_error,
 )
+from .cache import AnalysisCache, CacheStats, default_cache_directory
 
 __all__ = [
+    "AnalysisCache",
+    "BatchAnalyzer",
+    "BatchItem",
+    "BatchResult",
+    "CacheStats",
     "ErrorAnalysis",
+    "ProgramReport",
     "SoundnessReport",
     "analyze_definition",
     "analyze_program",
     "analyze_source",
     "analyze_term",
     "check_error_soundness",
+    "default_cache_directory",
+    "discover_items",
     "relative_error_from_rp",
     "relative_error_from_rp_linear",
     "rp_bound_value",

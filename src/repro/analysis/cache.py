@@ -1,0 +1,265 @@
+"""Content-keyed memoization for the analysis pipeline.
+
+The batch engine (see :mod:`repro.analysis.batch` and
+``docs/architecture.md``) avoids repeating work at three levels:
+
+1. **Parse trees** — :meth:`AnalysisCache.cached_parse` memoizes
+   ``parse_program`` by source text in an in-memory LRU, so repeated
+   analyses of the same program (e.g. under several instantiations) parse
+   once per process.
+2. **Analysis results** — :meth:`AnalysisCache.get` / :meth:`AnalysisCache.put`
+   store arbitrary pickled results (per-program reports, benchmark rows)
+   under a content key.  With a ``directory`` the store is persistent, so a
+   second ``repro batch`` or table run in a fresh process starts warm.
+3. **Exact arithmetic** — the hot :class:`~repro.core.grades.Grade`
+   operations and the transcendental enclosures of
+   :mod:`repro.floats.exactmath` carry their own ``functools.lru_cache``
+   fast paths; this module only reports on them.
+
+Cache invalidation is content-based: keys are SHA-256 digests built by
+:func:`source_key` / :func:`make_key` from the *source text* (benchmark
+rows digest their term structure via
+:func:`repro.core.ast.term_fingerprint` instead), the :func:`config_key`
+of the inference instantiation, and :data:`CACHE_SCHEMA`.  Editing a program, changing the floating-point
+format, or bumping the schema constant (done whenever the analysis code
+changes in a result-visible way) each produce a different key, so stale
+entries are never returned — they simply become unreachable garbage that
+:meth:`AnalysisCache.clear` removes.  Unreadable or truncated pickle files
+are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.inference import InferenceConfig
+from ..core.parser import Program, parse_program
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "AnalysisCache",
+    "config_key",
+    "source_key",
+    "make_key",
+    "default_cache_directory",
+]
+
+#: Bump this whenever the analysis pipeline changes in a way that affects
+#: results; it participates in every cache key, so old on-disk entries are
+#: ignored rather than deserialized into the new code.
+CACHE_SCHEMA = 1
+
+_MISSING = object()
+
+
+def default_cache_directory() -> str:
+    """The on-disk cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-lnum``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-lnum")
+
+
+def config_key(config: Optional[InferenceConfig]) -> str:
+    """A stable fingerprint of an inference instantiation.
+
+    Covers everything that can change an analysis result: the rounding
+    grade, the guard sensitivity, the unused-let policy and the set of
+    primitive operations in scope.
+    """
+    config = config or InferenceConfig()
+    operations = ",".join(sorted(config.signature.names()))
+    return (
+        f"rnd={config.rnd_grade}|guard={config.case_guard_sensitivity}"
+        f"|unused={config.allow_unused_let}|ops={operations}"
+    )
+
+
+def source_key(source: str, kind: str, config: Optional[InferenceConfig]) -> str:
+    """Content key for one program source under one instantiation."""
+    return make_key("src", kind, hashlib.sha256(source.encode("utf-8")).hexdigest(), config_key(config))
+
+
+def make_key(*parts: object) -> str:
+    """SHA-256 digest of the joined parts plus the schema version."""
+    text = "\x1f".join(str(part) for part in (CACHE_SCHEMA, *parts))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, reported in batch summaries and table footers."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def __str__(self) -> str:
+        return f"{self.hits}/{self.lookups} hits"
+
+
+class _LRU:
+    """A tiny ordered-dict LRU used for both parse trees and results."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            return default
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class AnalysisCache:
+    """Two-tier (memory + optional disk) store for analysis results.
+
+    ``directory=None`` keeps the cache process-local.  With a directory,
+    every ``put`` also writes an atomically-renamed pickle file named after
+    the key, and ``get`` falls back to disk on a memory miss — that is what
+    makes a *second process* running the same tables warm.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        memory_entries: int = 1024,
+        parse_entries: int = 256,
+    ) -> None:
+        self.directory = directory
+        self.stats = CacheStats()
+        self.parse_stats = CacheStats()
+        self._memory = _LRU(memory_entries)
+        self._parses = _LRU(parse_entries)
+
+    # -- generic result store ----------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._memory.get(key, _MISSING)
+        if value is not _MISSING:
+            self.stats.hits += 1
+            return value
+        value = self._read_disk(key)
+        if value is not _MISSING:
+            self.stats.hits += 1
+            self._memory.put(key, value)
+            return value
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        self.stats.puts += 1
+        self._memory.put(key, value)
+        self._write_disk(key, value)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.directory is not None and os.path.exists(self._path(key))
+
+    def clear(self) -> None:
+        """Drop every entry (memory and disk)."""
+        self._memory.clear()
+        self._parses.clear()
+        if self.directory and os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+
+    # -- parse-tree memoization --------------------------------------------
+
+    def cached_parse(self, source: str) -> Program:
+        """``parse_program`` memoized by source text (memory only).
+
+        Parse trees are mutable-ish Python object graphs, so they are never
+        written to disk; sharing them within a process is safe because the
+        analysis pipeline treats them as read-only.  Counted in
+        ``parse_stats``, separate from the result-store ``stats``.
+        """
+        key = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        program = self._parses.get(key, _MISSING)
+        if program is not _MISSING:
+            self.parse_stats.hits += 1
+            return program
+        self.parse_stats.misses += 1
+        program = parse_program(source)
+        self._parses.put(key, program)
+        return program
+
+    # -- disk tier ----------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def _read_disk(self, key: str) -> Any:
+        if not self.directory:
+            return _MISSING
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return _MISSING
+        except Exception:
+            # A truncated, corrupt or stale entry.  ``pickle.load`` raises
+            # arbitrary exception types on garbage input (ValueError,
+            # UnicodeDecodeError, ...), so any failure here is treated the
+            # same way: discard the file and report a miss.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return _MISSING
+
+    def _write_disk(self, key: str, value: Any) -> None:
+        if not self.directory:
+            return
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PickleError):
+            # Persistence is best-effort: a read-only or full disk must not
+            # fail the analysis itself.
+            pass

@@ -6,9 +6,17 @@ reported in the paper, so the output can be compared side by side.  The
 module is runnable::
 
     python -m repro.benchsuite.runner table3
+    python -m repro.benchsuite.runner table3 --jobs 4    # parallel analyses
     python -m repro.benchsuite.runner table4 --full
     python -m repro.benchsuite.runner table5
     python -m repro.benchsuite.runner all
+
+Tables 3–5 are driven through :class:`repro.analysis.batch.BatchAnalyzer`:
+the per-benchmark analyses (Λnum inference plus the FPTaylor/Gappa-style
+baselines) fan out across ``--jobs`` worker processes and are memoized in
+the on-disk analysis cache, so a second run of the same table is served
+from the cache (the per-table footer prints the analysis time and the
+hit count).  Pass ``--no-cache`` to force a cold run.
 
 The pytest-benchmark harnesses under ``benchmarks/`` call the same row
 builders, so the printed tables and the benchmark timings always agree.
@@ -19,9 +27,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.analyzer import ErrorAnalysis
+from ..analysis.batch import BatchAnalyzer
+from ..analysis.cache import AnalysisCache, config_key, default_cache_directory, make_key
+from ..core.ast import term_fingerprint
 from ..core.inference import InferenceConfig
 from ..floats.formats import format_table
 from ..floats.rounding import rounding_mode_table
@@ -60,8 +71,97 @@ def table2_rows() -> List[Dict[str, object]]:
     return rows
 
 
-def _lnum_row(benchmark: Benchmark, config: InferenceConfig | None = None) -> Dict[str, object]:
-    analysis: ErrorAnalysis = benchmark.analyze_lnum(config)
+# ---------------------------------------------------------------------------
+# Batch-engine plumbing for Tables 3–5
+# ---------------------------------------------------------------------------
+
+
+def _benchmarks_for(table: str, include_huge: bool = False) -> List[Benchmark]:
+    if table == "table3":
+        return table3_benchmarks()
+    if table == "table4":
+        return table4_benchmarks(include_huge=include_huge)
+    if table == "table5":
+        return table5_benchmarks()
+    raise ValueError(f"no benchmark suite for {table!r}")
+
+
+def _analyze_benchmark(
+    benchmark: Benchmark,
+    config: InferenceConfig | None,
+    with_baselines: bool,
+) -> Dict[str, object]:
+    """One benchmark's work unit: Λnum inference plus optional baselines."""
+    result: Dict[str, object] = {"analysis": benchmark.analyze_lnum(config)}
+    if with_baselines:
+        result["fptaylor"] = benchmark.analyze_fptaylor_like()
+        result["gappa"] = benchmark.analyze_gappa_like()
+    return result
+
+
+#: Per-worker-process memo of rebuilt benchmark suites, so a worker that is
+#: handed several tasks from the same table constructs the suite once.
+_SUITE_MEMO: Dict[Tuple[str, bool], List[Benchmark]] = {}
+
+
+def _benchmark_task(
+    table: str,
+    name: str,
+    include_huge: bool,
+    with_baselines: bool,
+    config: InferenceConfig | None,
+) -> Dict[str, object]:
+    """Worker-side task: rebuild the benchmark from suite + name, analyse it.
+
+    The benchmark is rebuilt rather than pickled because the deep let-chains
+    of Table 4 (e.g. SerialSum1024) risk pickle's recursion limit; only the
+    small ``(table, name)`` reference crosses the pipe.
+    """
+    suite_key = (table, include_huge)
+    if suite_key not in _SUITE_MEMO:
+        _SUITE_MEMO[suite_key] = _benchmarks_for(table, include_huge)
+    benchmark = next(b for b in _SUITE_MEMO[suite_key] if b.name == name)
+    return _analyze_benchmark(benchmark, config, with_baselines)
+
+
+def _analyze_suite(
+    table: str,
+    benchmarks: Sequence[Benchmark],
+    engine: BatchAnalyzer,
+    config: InferenceConfig | None,
+    include_huge: bool = False,
+    with_baselines: bool = False,
+) -> List[Dict[str, object]]:
+    """Fan the suite's analyses out through the batch engine, in order.
+
+    Cache keys digest the *term structure* (``term_fingerprint``), so
+    editing a benchmark definition invalidates its cached row even when the
+    name and operation count are unchanged.  The serial path analyses the
+    already-built benchmark objects directly; only the parallel path uses
+    the rebuild-by-name worker.
+    """
+    keys = [
+        make_key(
+            "bench",
+            table,
+            benchmark.name,
+            term_fingerprint(benchmark.term),
+            with_baselines,
+            config_key(config),
+        )
+        for benchmark in benchmarks
+    ]
+    if engine.jobs > 1:
+        arguments = [
+            (table, benchmark.name, include_huge, with_baselines, config)
+            for benchmark in benchmarks
+        ]
+        return engine.map_tasks(_benchmark_task, arguments, keys=keys)
+    direct = [(benchmark, config, with_baselines) for benchmark in benchmarks]
+    return engine.map_tasks(_analyze_benchmark, direct, keys=keys)
+
+
+def _lnum_row(benchmark: Benchmark, analysis: ErrorAnalysis) -> Dict[str, object]:
     bound = (
         float(analysis.relative_error_bound)
         if analysis.relative_error_bound is not None
@@ -80,12 +180,19 @@ def _lnum_row(benchmark: Benchmark, config: InferenceConfig | None = None) -> Di
 
 
 def table3_rows(
-    run_baselines: bool = True, config: InferenceConfig | None = None
+    run_baselines: bool = True,
+    config: InferenceConfig | None = None,
+    engine: BatchAnalyzer | None = None,
 ) -> List[Dict[str, object]]:
     """Table 3: small benchmarks, Λnum vs the FPTaylor- and Gappa-style baselines."""
+    engine = engine or BatchAnalyzer()
+    benchmarks = table3_benchmarks()
+    outcomes = _analyze_suite(
+        "table3", benchmarks, engine, config, with_baselines=run_baselines
+    )
     rows = []
-    for benchmark in table3_benchmarks():
-        row = _lnum_row(benchmark, config)
+    for benchmark, outcome in zip(benchmarks, outcomes):
+        row = _lnum_row(benchmark, outcome["analysis"])
         row.update(
             {
                 "fptaylor_bound": None,
@@ -99,8 +206,8 @@ def table3_rows(
             }
         )
         if run_baselines:
-            taylor = benchmark.analyze_fptaylor_like()
-            interval = benchmark.analyze_gappa_like()
+            taylor = outcome.get("fptaylor")
+            interval = outcome.get("gappa")
             if taylor is not None:
                 row["fptaylor_bound"] = (
                     None if taylor.failed else float(taylor.relative_error)
@@ -122,20 +229,36 @@ def table3_rows(
 
 
 def table4_rows(
-    include_huge: bool = False, config: InferenceConfig | None = None
+    include_huge: bool = False,
+    config: InferenceConfig | None = None,
+    engine: BatchAnalyzer | None = None,
 ) -> List[Dict[str, object]]:
     """Table 4: large benchmarks, Λnum vs the textbook worst-case bounds."""
+    engine = engine or BatchAnalyzer()
+    benchmarks = table4_benchmarks(include_huge=include_huge)
+    outcomes = _analyze_suite(
+        "table4", benchmarks, engine, config, include_huge=include_huge
+    )
     rows = []
-    for benchmark in table4_benchmarks(include_huge=include_huge):
-        row = _lnum_row(benchmark, config)
+    for benchmark, outcome in zip(benchmarks, outcomes):
+        row = _lnum_row(benchmark, outcome["analysis"])
         row["std_bound"] = benchmark.paper_bounds.get("std")
         rows.append(row)
     return rows
 
 
-def table5_rows(config: InferenceConfig | None = None) -> List[Dict[str, object]]:
+def table5_rows(
+    config: InferenceConfig | None = None,
+    engine: BatchAnalyzer | None = None,
+) -> List[Dict[str, object]]:
     """Table 5: conditional benchmarks."""
-    return [_lnum_row(benchmark, config) for benchmark in table5_benchmarks()]
+    engine = engine or BatchAnalyzer()
+    benchmarks = table5_benchmarks()
+    outcomes = _analyze_suite("table5", benchmarks, engine, config)
+    return [
+        _lnum_row(benchmark, outcome["analysis"])
+        for benchmark, outcome in zip(benchmarks, outcomes)
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -218,7 +341,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="skip the FPTaylor/Gappa-style baselines in table3",
     )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-benchmark analyses (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk analysis cache (force a cold run)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro-lnum)",
+    )
     arguments = parser.parse_args(argv)
+
+    cache = None
+    if not arguments.no_cache:
+        cache = AnalysisCache(directory=arguments.cache_dir or default_cache_directory())
+    engine = BatchAnalyzer(jobs=arguments.jobs, cache=cache)
+
+    def _snapshot() -> Tuple[int, int]:
+        return (cache.stats.hits, cache.stats.lookups) if cache else (0, 0)
+
+    def _footer(table_start: float, before: Tuple[int, int]) -> str:
+        if cache:
+            hits, lookups = _snapshot()
+            stats = f", cache {hits - before[0]}/{lookups - before[1]} hits"
+        else:
+            stats = ", cache off"
+        return (
+            f"[analysis {time.perf_counter() - table_start:.3f} s, "
+            f"jobs {engine.jobs}{stats}]"
+        )
 
     start = time.perf_counter()
     if arguments.table in ("table1", "all"):
@@ -230,16 +390,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_rows(table2_rows()))
         print()
     if arguments.table in ("table3", "all"):
+        table_start = time.perf_counter()
+        before = _snapshot()
+        rows = table3_rows(run_baselines=not arguments.no_baselines, engine=engine)
         print("Table 3: small benchmarks (relative error bounds; smaller is better)")
-        print(render_rows(table3_rows(run_baselines=not arguments.no_baselines), _TABLE3_COLUMNS))
+        print(render_rows(rows, _TABLE3_COLUMNS))
+        print(_footer(table_start, before))
         print()
     if arguments.table in ("table4", "all"):
+        table_start = time.perf_counter()
+        before = _snapshot()
+        rows = table4_rows(include_huge=arguments.full, engine=engine)
         print("Table 4: large benchmarks")
-        print(render_rows(table4_rows(include_huge=arguments.full), _TABLE4_COLUMNS))
+        print(render_rows(rows, _TABLE4_COLUMNS))
+        print(_footer(table_start, before))
         print()
     if arguments.table in ("table5", "all"):
+        table_start = time.perf_counter()
+        before = _snapshot()
+        rows = table5_rows(engine=engine)
         print("Table 5: conditional benchmarks")
-        print(render_rows(table5_rows(), _TABLE5_COLUMNS))
+        print(render_rows(rows, _TABLE5_COLUMNS))
+        print(_footer(table_start, before))
         print()
     print(f"total time: {time.perf_counter() - start:.2f} s")
     return 0

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .`` or from a checkout)::
     python -m repro check program.lnum -f FMA     # one function only
     python -m repro check - < program.lnum        # read from stdin
     python -m repro fpcore bench.fpcore           # analyse an FPCore benchmark
+    python -m repro batch examples/programs -j 4  # analyse a whole directory
     python -m repro table table3                  # regenerate a paper table
     python -m repro validate program.lnum -i x=0.5 -i y=2   # Corollary 4.20 check
 
@@ -21,7 +22,14 @@ import sys
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence
 
-from .analysis import analyze_program, analyze_term, check_error_soundness
+from .analysis import (
+    AnalysisCache,
+    BatchAnalyzer,
+    analyze_program,
+    analyze_term,
+    check_error_soundness,
+    default_cache_directory,
+)
 from .core import parse_program
 from .core.errors import LnumError
 from .core.inference import InferenceConfig
@@ -49,12 +57,44 @@ def build_parser() -> argparse.ArgumentParser:
     fpcore.add_argument("path", help="path to the FPCore file, or '-' for stdin")
     _add_instantiation_arguments(fpcore)
 
+    batch = subparsers.add_parser(
+        "batch", help="analyse many programs through the worker pool + cache"
+    )
+    batch.add_argument(
+        "paths",
+        nargs="+",
+        help="program files, or directories scanned recursively for .lnum/.fpcore",
+    )
+    batch.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1: serial, same results either way)",
+    )
+    batch.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON report"
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="disable the content-keyed result cache"
+    )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro-lnum)",
+    )
+    _add_instantiation_arguments(batch)
+
     table = subparsers.add_parser("table", help="regenerate one of the paper's tables")
     table.add_argument(
         "which", choices=["table1", "table2", "table3", "table4", "table5", "all"]
     )
     table.add_argument("--full", action="store_true", help="include MatrixMultiply128")
     table.add_argument("--no-baselines", action="store_true")
+    table.add_argument("-j", "--jobs", type=int, default=1, help="worker processes")
+    table.add_argument("--no-cache", action="store_true", help="disable the result cache")
+    table.add_argument("--cache-dir", default=None, metavar="DIR")
 
     validate = subparsers.add_parser(
         "validate", help="run the ideal and FP semantics and check the inferred bound"
@@ -148,6 +188,26 @@ def _command_fpcore(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_batch(arguments: argparse.Namespace) -> int:
+    import json
+
+    config = _config_from_arguments(arguments)
+    cache = None
+    if not arguments.no_cache:
+        cache = AnalysisCache(directory=arguments.cache_dir or default_cache_directory())
+    engine = BatchAnalyzer(jobs=arguments.jobs, cache=cache, config=config)
+    result = engine.analyze_paths(arguments.paths)
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render_text())
+    if result.failures:
+        return 2
+    if result.annotation_violations:
+        return 1
+    return 0
+
+
 def _command_table(arguments: argparse.Namespace) -> int:
     from .benchsuite import runner
 
@@ -156,6 +216,12 @@ def _command_table(arguments: argparse.Namespace) -> int:
         argv.append("--full")
     if arguments.no_baselines:
         argv.append("--no-baselines")
+    if arguments.jobs != 1:
+        argv.extend(["--jobs", str(arguments.jobs)])
+    if arguments.no_cache:
+        argv.append("--no-cache")
+    if arguments.cache_dir:
+        argv.extend(["--cache-dir", arguments.cache_dir])
     return runner.main(argv)
 
 
@@ -202,6 +268,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "check": _command_check,
         "fpcore": _command_fpcore,
+        "batch": _command_batch,
         "table": _command_table,
         "validate": _command_validate,
     }

@@ -505,6 +505,31 @@ def iter_nodes(term: Term) -> Iterator[Term]:
         stack.extend(node.children())
 
 
+def term_fingerprint(term: Term) -> str:
+    """SHA-256 digest of the term's full structure.
+
+    Preorder traversal plus per-node arity and scalar labels (names,
+    constants, grades, type annotations) uniquely determines the tree, so
+    two terms share a fingerprint iff they are structurally identical.
+    Iterative, so it is safe for the benchmark terms with hundreds of
+    thousands of nodes; used for content-keyed analysis caching.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    update = digest.update
+    for node in iter_nodes(term):
+        update(type(node).__name__.encode("utf-8"))
+        update(b"#%d" % len(node.children()))
+        for slot in type(node).__slots__:
+            value = getattr(node, slot)
+            if not isinstance(value, Term):
+                update(b"|")
+                update(str(value).encode("utf-8"))
+        update(b";")
+    return digest.hexdigest()
+
+
 def count_rounds(term: Term) -> int:
     """Number of ``rnd`` operations in the term (the paper's "Ops" proxy)."""
     return sum(1 for node in iter_nodes(term) if isinstance(node, Rnd))

@@ -21,6 +21,7 @@ The convention ``0 * ∞ = ∞ * 0 = 0`` from Definition 4.2 is respected.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
 __all__ = [
@@ -57,6 +58,7 @@ class SymbolRegistry:
 
     def __init__(self, values: Mapping[str, Fraction] | None = None) -> None:
         self._values: Dict[str, Fraction] = {}
+        self._version = 0
         if values:
             for name, value in values.items():
                 self.register(name, value)
@@ -67,6 +69,12 @@ class SymbolRegistry:
         if frac <= 0:
             raise GradeError(f"symbol {name!r} must have a positive value, got {frac}")
         self._values[name] = frac
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; memoized grade evaluations key on it."""
+        return self._version
 
     def value_of(self, name: str) -> Fraction:
         try:
@@ -106,7 +114,7 @@ class Grade:
     :data:`INFINITY` and :func:`as_grade`.
     """
 
-    __slots__ = ("_terms", "_infinite", "_hash")
+    __slots__ = ("_terms", "_infinite", "_hash", "_eval_cache")
 
     def __init__(
         self,
@@ -127,6 +135,7 @@ class Grade:
         object.__setattr__(self, "_terms", cleaned)
         object.__setattr__(self, "_infinite", bool(infinite))
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_eval_cache", None)
 
     # -- constructors ------------------------------------------------------
 
@@ -191,12 +200,23 @@ class Grade:
         if self._infinite:
             raise GradeError("cannot evaluate an infinite grade to a rational")
         registry = registry or DEFAULT_REGISTRY
+        # Comparisons evaluate both sides, so this is the hottest call in
+        # inference; a one-entry cache (keyed by registry identity and its
+        # mutation counter) makes repeated evaluation O(1).
+        cached = self._eval_cache
+        if (
+            cached is not None
+            and cached[0] is registry
+            and cached[1] == registry.version
+        ):
+            return cached[2]
         total = Fraction(0)
         for mono, coeff in self._terms.items():
             value = coeff
             for name in mono:
                 value *= registry.value_of(name)
             total += value
+        object.__setattr__(self, "_eval_cache", (registry, registry.version, total))
         return total
 
     def to_float(self, registry: SymbolRegistry | None = None) -> float:
@@ -210,10 +230,11 @@ class Grade:
         other = as_grade(other)
         if self._infinite or other._infinite:
             return INFINITY
-        terms = dict(self._terms)
-        for mono, coeff in other._terms.items():
-            terms[mono] = terms.get(mono, Fraction(0)) + coeff
-        return Grade(terms)
+        if not self._terms:
+            return other
+        if not other._terms:
+            return self
+        return _memoized_add(self, other)
 
     __radd__ = __add__
 
@@ -224,12 +245,7 @@ class Grade:
             return ZERO
         if self._infinite or other._infinite:
             return INFINITY
-        terms: Dict[Monomial, Fraction] = {}
-        for mono_a, coeff_a in self._terms.items():
-            for mono_b, coeff_b in other._terms.items():
-                mono = tuple(sorted(mono_a + mono_b))
-                terms[mono] = terms.get(mono, Fraction(0)) + coeff_a * coeff_b
-        return Grade(terms)
+        return _memoized_mul(self, other)
 
     __rmul__ = __mul__
 
@@ -323,6 +339,31 @@ class Grade:
 
     def __repr__(self) -> str:
         return f"Grade({self})"
+
+
+# Inference combines the same few grades over and over (per-operation error
+# grades, context sums), so both ring operations are LRU-memoized.  Grades
+# are immutable and hash/compare structurally, which makes them safe keys;
+# the identity/absorbing cases are handled before the memo so the cache only
+# holds genuinely combined polynomials.
+
+
+@lru_cache(maxsize=16384)
+def _memoized_add(left: "Grade", right: "Grade") -> "Grade":
+    terms = dict(left._terms)
+    for mono, coeff in right._terms.items():
+        terms[mono] = terms.get(mono, Fraction(0)) + coeff
+    return Grade(terms)
+
+
+@lru_cache(maxsize=16384)
+def _memoized_mul(left: "Grade", right: "Grade") -> "Grade":
+    terms: Dict[Monomial, Fraction] = {}
+    for mono_a, coeff_a in left._terms.items():
+        for mono_b, coeff_b in right._terms.items():
+            mono = tuple(sorted(mono_a + mono_b))
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff_a * coeff_b
+    return Grade(terms)
 
 
 ZERO = Grade.constant(0)

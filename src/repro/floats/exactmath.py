@@ -21,6 +21,7 @@ series are accounted for with explicit rational remainder terms.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from math import isqrt
 from typing import Tuple
 
@@ -185,8 +186,17 @@ def _ln2_enclosure(terms: int = DEFAULT_SERIES_TERMS) -> Tuple[Fraction, Fractio
 
 
 def log_enclosure(value: Fraction, terms: int = DEFAULT_SERIES_TERMS) -> Tuple[Fraction, Fraction]:
-    """A rational interval ``[lo, hi]`` with ``lo <= ln(value) <= hi``."""
-    value = Fraction(value)
+    """A rational interval ``[lo, hi]`` with ``lo <= ln(value) <= hi``.
+
+    Memoized: soundness sweeps evaluate the same handful of ratios (ideal
+    vs floating-point values of a benchmark) thousands of times, and the
+    atanh series over exact rationals is by far the dominating cost.
+    """
+    return _log_enclosure_cached(Fraction(value), terms)
+
+
+@lru_cache(maxsize=16384)
+def _log_enclosure_cached(value: Fraction, terms: int) -> Tuple[Fraction, Fraction]:
     if value <= 0:
         raise ValueError("log_enclosure requires a positive argument")
     # Argument reduction: value = 2^k * t with t in [3/4, 3/2).
@@ -219,8 +229,16 @@ def log_ratio_enclosure(
 def rp_distance_enclosure(
     x: Fraction, y: Fraction, terms: int = DEFAULT_SERIES_TERMS
 ) -> Tuple[Fraction, Fraction]:
-    """A rational interval containing ``RP(x, y) = |ln(x / y)|`` for ``x, y > 0``."""
-    x, y = Fraction(x), Fraction(y)
+    """A rational interval containing ``RP(x, y) = |ln(x / y)|`` for ``x, y > 0``.
+
+    Memoized (the arguments are normalized to :class:`Fraction`, which
+    hashes by exact value, so equal distances always share one entry).
+    """
+    return _rp_distance_cached(Fraction(x), Fraction(y), terms)
+
+
+@lru_cache(maxsize=16384)
+def _rp_distance_cached(x: Fraction, y: Fraction, terms: int) -> Tuple[Fraction, Fraction]:
     if x <= 0 or y <= 0:
         raise ValueError("the RP metric requires strictly positive values")
     low, high = log_ratio_enclosure(x, y, terms)
@@ -232,8 +250,17 @@ def rp_distance_enclosure(
 
 
 def exp_enclosure(value: Fraction, terms: int = DEFAULT_SERIES_TERMS) -> Tuple[Fraction, Fraction]:
-    """A rational interval ``[lo, hi]`` with ``lo <= exp(value) <= hi``."""
-    value = Fraction(value)
+    """A rational interval ``[lo, hi]`` with ``lo <= exp(value) <= hi``.
+
+    Memoized for the same reason as :func:`log_enclosure`: the RP →
+    relative-error conversion (Equation (8)) evaluates ``expm1`` at the
+    same certified bounds for every row of a table.
+    """
+    return _exp_enclosure_cached(Fraction(value), terms)
+
+
+@lru_cache(maxsize=16384)
+def _exp_enclosure_cached(value: Fraction, terms: int) -> Tuple[Fraction, Fraction]:
     # Argument reduction: exp(x) = exp(x / 2^k)^(2^k) with |x / 2^k| <= 1/2.
     k = 0
     reduced = value

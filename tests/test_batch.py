@@ -1,0 +1,303 @@
+"""Tests for the batch analysis engine and its content-keyed cache."""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.analysis.batch import BatchAnalyzer, BatchItem, discover_items
+from repro.analysis.cache import AnalysisCache, config_key, make_key, source_key
+from repro.cli import main
+from repro.core.inference import InferenceConfig
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples", "programs"
+)
+
+FMA = """
+function FMA (x: num) (y: num) (z: num) : M[eps]num {
+  a = mul (x, y);
+  b = add (|a, z|);
+  rnd b
+}
+"""
+
+HORNER = """
+function FMA (x: num) (y: num) (z: num) : M[eps]num {
+  a = mul (x, y);
+  b = add (|a, z|);
+  rnd b
+}
+function Horner2 (a0: num) (a1: num) (a2: num) (x: ![2]num) : M[2*eps]num {
+  let [x1] = x;
+  s1 = FMA a2 x1 a1;
+  let z = s1;
+  FMA z x1 a0
+}
+"""
+
+BROKEN = "function f (x num { rnd x }"
+
+
+def _items():
+    return [
+        BatchItem(name="fma", kind="lnum", source=FMA),
+        BatchItem(name="horner", kind="lnum", source=HORNER),
+    ]
+
+
+class TestDiscovery:
+    def test_directory_scan_is_sorted_and_typed(self):
+        items = discover_items([EXAMPLES])
+        names = [os.path.basename(item.name) for item in items]
+        assert names == sorted(names)
+        kinds = {os.path.basename(item.name): item.kind for item in items}
+        assert kinds["hypot.fpcore"] == "fpcore"
+        assert kinds["horner2.lnum"] == "lnum"
+
+    def test_explicit_file(self):
+        items = discover_items([os.path.join(EXAMPLES, "fma.lnum")])
+        assert len(items) == 1 and items[0].kind == "lnum"
+
+
+class TestCache:
+    def test_hit_miss_and_disk_persistence(self, tmp_path):
+        cache = AnalysisCache(directory=str(tmp_path))
+        key = make_key("probe", 1)
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        cache.put(key, {"x": 42})
+        assert cache.get(key) == {"x": 42}
+        assert cache.stats.hits == 1
+        # A fresh cache over the same directory reads the persisted entry.
+        other = AnalysisCache(directory=str(tmp_path))
+        assert other.get(key) == {"x": 42}
+        assert other.stats.hits == 1
+
+    def test_memory_only_cache(self):
+        cache = AnalysisCache()
+        key = make_key("probe", 2)
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+
+    @pytest.mark.parametrize("garbage", [b"not a pickle", b"garbage\n", b"\x80", b""])
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path, garbage):
+        # pickle.load raises different exception types per corruption shape
+        # (UnpicklingError, ValueError, EOFError, ...); all must be misses.
+        cache = AnalysisCache(directory=str(tmp_path))
+        key = make_key("probe", 3)
+        cache.put(key, "value")
+        path = os.path.join(str(tmp_path), f"{key}.pkl")
+        with open(path, "wb") as handle:
+            handle.write(garbage)
+        fresh = AnalysisCache(directory=str(tmp_path))
+        assert fresh.get(key) is None
+        assert not os.path.exists(path)
+
+    def test_source_key_separates_config_and_content(self):
+        base = source_key(FMA, "lnum", None)
+        assert source_key(FMA, "lnum", None) == base
+        assert source_key(FMA + " ", "lnum", None) != base
+        assert source_key(FMA, "fpcore", None) != base
+        binary32 = InferenceConfig().with_rnd_grade("2*eps")
+        assert source_key(FMA, "lnum", binary32) != base
+
+    def test_config_key_mentions_instantiation(self):
+        assert "rnd=eps" in config_key(None)
+        assert "rnd=3*eps" in config_key(InferenceConfig().with_rnd_grade("3*eps"))
+
+    def test_clear_removes_disk_entries(self, tmp_path):
+        cache = AnalysisCache(directory=str(tmp_path))
+        cache.put(make_key("probe", 4), "value")
+        cache.clear()
+        fresh = AnalysisCache(directory=str(tmp_path))
+        assert fresh.get(make_key("probe", 4)) is None
+
+
+class TestBatchAnalyzer:
+    def test_serial_reports_in_input_order(self):
+        result = BatchAnalyzer().analyze_items(_items())
+        assert [report.name for report in result.reports] == ["fma", "horner"]
+        assert result.failures == 0
+        assert result.functions == 3
+
+    def test_parallel_matches_serial(self):
+        serial = BatchAnalyzer(jobs=1).analyze_items(_items())
+        parallel = BatchAnalyzer(jobs=2).analyze_items(_items())
+        assert [r.name for r in parallel.reports] == [r.name for r in serial.reports]
+        assert [r.bounds() for r in parallel.reports] == [r.bounds() for r in serial.reports]
+        grades = lambda res: [
+            [str(a.error_grade) for a in r.analyses] for r in res.reports
+        ]
+        assert grades(parallel) == grades(serial)
+
+    def test_cache_warm_run_marks_reports(self, tmp_path):
+        cache = AnalysisCache(directory=str(tmp_path))
+        cold = BatchAnalyzer(cache=cache).analyze_items(_items())
+        assert all(not report.from_cache for report in cold.reports)
+        warm_cache = AnalysisCache(directory=str(tmp_path))
+        warm = BatchAnalyzer(cache=warm_cache).analyze_items(_items())
+        assert all(report.from_cache for report in warm.reports)
+        assert [r.bounds() for r in warm.reports] == [r.bounds() for r in cold.reports]
+
+    def test_cached_report_is_not_mutated_in_store(self):
+        cache = AnalysisCache()
+        engine = BatchAnalyzer(cache=cache)
+        engine.analyze_items(_items()[:1])
+        warm = engine.analyze_items(_items()[:1])
+        again = engine.analyze_items(_items()[:1])
+        assert warm.reports[0].from_cache and again.reports[0].from_cache
+        key = source_key(FMA, "lnum", None)
+        assert cache.get(key).from_cache is False
+
+    def test_failures_are_reported_not_raised(self):
+        items = [BatchItem(name="bad", kind="lnum", source=BROKEN)] + _items()
+        result = BatchAnalyzer(jobs=2).analyze_items(items)
+        assert result.failures == 1
+        assert result.reports[0].failed and result.reports[0].error
+        assert result.reports[1].ok and result.reports[2].ok
+
+    def test_cache_stats_are_per_run_not_lifetime(self):
+        cache = AnalysisCache()
+        engine = BatchAnalyzer(cache=cache)
+        cold = engine.analyze_items(_items())
+        assert (cold.cache_stats.hits, cold.cache_stats.misses) == (0, 2)
+        warm = engine.analyze_items(_items())
+        assert (warm.cache_stats.hits, warm.cache_stats.misses) == (2, 0)
+        assert warm.to_dict()["aggregate"]["cache_lookups"] == 2
+
+    def test_parse_cache_reused_across_configs(self):
+        cache = AnalysisCache()
+        BatchAnalyzer(cache=cache).analyze_items(_items())
+        BatchAnalyzer(
+            cache=cache, config=InferenceConfig().with_rnd_grade("2*eps")
+        ).analyze_items(_items())
+        # The second run misses the result cache (different config) but
+        # reuses the memoized parse trees.
+        assert cache.parse_stats.hits == 2
+        assert cache.parse_stats.misses == 2
+
+    def test_different_configs_do_not_share_cache_entries(self):
+        cache = AnalysisCache()
+        symbolic = BatchAnalyzer(cache=cache).analyze_items(_items()[:1])
+        scaled = BatchAnalyzer(
+            cache=cache, config=InferenceConfig().with_rnd_grade("2*eps")
+        ).analyze_items(_items()[:1])
+        assert not scaled.reports[0].from_cache
+        a, b = symbolic.reports[0].analyses[0], scaled.reports[0].analyses[0]
+        assert str(a.error_grade) == "eps" and str(b.error_grade) == "2*eps"
+
+
+class TestBatchCommand:
+    def test_batch_bounds_match_serial_check(self, capsys):
+        """`repro batch --jobs 4` reports byte-identical bounds to `repro check`."""
+        lnum_paths = sorted(
+            os.path.join(EXAMPLES, name)
+            for name in os.listdir(EXAMPLES)
+            if name.endswith(".lnum")
+        )
+        expected_lines = []
+        for path in lnum_paths:
+            assert main(["check", path]) == 0
+            out = capsys.readouterr().out
+            expected_lines.extend(re.findall(r"relative error : \S+", out))
+        assert main(["batch", *lnum_paths, "--jobs", "4", "--no-cache"]) == 0
+        batch_out = capsys.readouterr().out
+        batch_lines = re.findall(r"relative error : \S+", batch_out)
+        assert batch_lines == expected_lines
+        assert expected_lines  # sanity: the examples produced bounds at all
+
+    def test_batch_json_output(self, capsys):
+        assert main(["batch", EXAMPLES, "--json", "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["aggregate"]["failures"] == 0
+        assert payload["aggregate"]["programs"] == len(payload["programs"])
+        by_name = {
+            os.path.basename(program["name"]): program for program in payload["programs"]
+        }
+        horner = by_name["horner2.lnum"]
+        grades = {fn["name"]: fn["error_grade"] for fn in horner["functions"]}
+        assert grades == {"FMA": "eps", "Horner2": "2*eps"}
+        hypot = by_name["hypot.fpcore"]
+        assert hypot["functions"][0]["error_grade"] == "5/2*eps"
+
+    def test_batch_json_deterministic_order(self, capsys):
+        assert main(["batch", EXAMPLES, "--json", "--no-cache"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["batch", EXAMPLES, "--json", "--no-cache", "--jobs", "2"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        names = lambda payload: [program["name"] for program in payload["programs"]]
+        assert names(first) == names(second)
+        bounds = lambda payload: [
+            [fn["relative_error_bound_exact"] for fn in program["functions"]]
+            for program in payload["programs"]
+        ]
+        assert bounds(first) == bounds(second)
+
+    def test_batch_cache_dir_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["batch", EXAMPLES, "--cache-dir", cache_dir]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[cached]" in out
+
+    def test_batch_reports_failures_via_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.lnum"
+        bad.write_text(BROKEN)
+        assert main(["batch", str(bad), "--no-cache"]) == 2
+
+    def test_batch_annotation_violation_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "violate.lnum"
+        bad.write_text("function f (x: num) : M[0]num { rnd x }\n")
+        assert main(["batch", str(bad), "--no-cache"]) == 1
+
+
+class TestTermFingerprint:
+    def test_fingerprint_is_content_sensitive(self):
+        from repro.core.ast import term_fingerprint
+        from repro.core.parser import parse_program
+
+        base = parse_program(FMA).term_for("FMA")
+        same = parse_program(FMA).term_for("FMA")
+        tweaked = parse_program(FMA.replace("rnd b", "ret b")).term_for("FMA")
+        assert term_fingerprint(base) == term_fingerprint(same)
+        assert term_fingerprint(base) != term_fingerprint(tweaked)
+
+    def test_benchmark_keys_digest_term_structure(self):
+        # A changed benchmark definition must change the cache key even when
+        # name and operation counts are preserved (stale-row regression).
+        from repro.benchsuite.conditionals import conditional_benchmark
+        from repro.core.ast import term_fingerprint
+
+        benchmark = conditional_benchmark("squareRoot3")
+        other = conditional_benchmark("squareRoot3Invalid")  # same ops, same grade
+        assert benchmark.operations == other.operations
+        assert term_fingerprint(benchmark.term) != term_fingerprint(other.term)
+
+
+class TestRunnerIntegration:
+    def test_table5_rows_through_engine_match_serial(self, tmp_path):
+        from repro.benchsuite.runner import table5_rows
+
+        plain = table5_rows()
+        cache = AnalysisCache(directory=str(tmp_path))
+        cold = table5_rows(engine=BatchAnalyzer(jobs=2, cache=cache))
+        warm = table5_rows(engine=BatchAnalyzer(cache=AnalysisCache(directory=str(tmp_path))))
+        strip = lambda rows: [
+            {k: v for k, v in row.items() if k != "lnum_seconds"} for row in rows
+        ]
+        assert strip(cold) == strip(plain)
+        assert strip(warm) == strip(plain)
+
+    def test_runner_main_prints_cache_footer(self, tmp_path, capsys):
+        from repro.benchsuite.runner import main as runner_main
+
+        assert runner_main(["table5", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "[analysis" in out and "cache 0/4 hits" in out
+        assert runner_main(["table5", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "cache 4/4 hits" in out
