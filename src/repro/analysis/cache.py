@@ -18,14 +18,22 @@ The batch engine (see :mod:`repro.analysis.batch` and
 
 Cache invalidation is content-based: keys are SHA-256 digests built by
 :func:`source_key` / :func:`make_key` from the *source text* (benchmark
-rows digest their term structure via
-:func:`repro.core.ast.term_fingerprint` instead), the :func:`config_key`
-of the inference instantiation, and :data:`CACHE_SCHEMA`.  Editing a program, changing the floating-point
+rows digest their term structure via :func:`term_key` instead), the
+:func:`config_key` of the inference instantiation, and
+:data:`CACHE_SCHEMA`.  Editing a program, changing the floating-point
 format, or bumping the schema constant (done whenever the analysis code
 changes in a result-visible way) each produce a different key, so stale
 entries are never returned — they simply become unreachable garbage that
 :meth:`AnalysisCache.clear` removes.  Unreadable or truncated pickle files
 are treated as misses and deleted.
+
+Term-keyed entries use :func:`term_key`: for a hash-consed term
+(:func:`repro.core.ast.intern_term`) the structural digest is memoized by
+the node's intern id, so repeated lookups for the same program cost a
+dictionary probe instead of re-serializing hundreds of thousands of nodes;
+un-interned terms fall back to the full structural walk.  Either way the
+key itself is the *content* digest — never a process-local id — so keys
+are stable across processes and the on-disk tier stays valid.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from ..core import ast as A
 from ..core.inference import InferenceConfig
 from ..core.parser import Program, parse_program
 
@@ -47,6 +56,7 @@ __all__ = [
     "AnalysisCache",
     "config_key",
     "source_key",
+    "term_key",
     "make_key",
     "default_cache_directory",
 ]
@@ -54,7 +64,11 @@ __all__ = [
 #: Bump this whenever the analysis pipeline changes in a way that affects
 #: results; it participates in every cache key, so old on-disk entries are
 #: ignored rather than deserialized into the new code.
-CACHE_SCHEMA = 1
+#:
+#: Schema history: 2 — interned grades/persistent contexts changed the
+#: pickle representation of cached analyses, so schema-1 entries must never
+#: be deserialized into the new classes.
+CACHE_SCHEMA = 2
 
 _MISSING = object()
 
@@ -85,6 +99,20 @@ def config_key(config: Optional[InferenceConfig]) -> str:
 def source_key(source: str, kind: str, config: Optional[InferenceConfig]) -> str:
     """Content key for one program source under one instantiation."""
     return make_key("src", kind, hashlib.sha256(source.encode("utf-8")).hexdigest(), config_key(config))
+
+
+def term_key(
+    term: "A.Term", config: Optional[InferenceConfig], *extra_parts: object
+) -> str:
+    """Content key for one term under one instantiation.
+
+    ``term_fingerprint`` serves the digest from its intern-id memo when the
+    term has been hash-consed (the batch/benchmark path interns every
+    program), and walks the structure otherwise, so this is cheap to call
+    per lookup.  ``extra_parts`` lets callers mix in row-specific inputs
+    (baseline toggles, suite names, ...).
+    """
+    return make_key("term", A.term_fingerprint(term), config_key(config), *extra_parts)
 
 
 def make_key(*parts: object) -> str:

@@ -60,9 +60,18 @@ class Benchmark:
             compiled = compile_expression(self.expression)
             self.term = compiled.term
             self.skeleton = dict(compiled.skeleton)
+        # Hash-cons the program: shared subtrees are stored once and the
+        # content fingerprint used for cache keys is memoized by identity.
+        self.term = A.intern_term(self.term)
         if not self.input_ranges:
             if self.skeleton:
-                names = tuple(self.skeleton.keys())
+                # Only numeric inputs take the paper's interval; boolean
+                # guards (the conditional-ladder family) have no range.
+                names = tuple(
+                    name
+                    for name, tau in self.skeleton.items()
+                    if isinstance(tau, T.Num)
+                )
             elif self.expression is not None:
                 names = E.free_variables(self.expression)
             else:
@@ -99,7 +108,9 @@ class Benchmark:
 
         rng = random.Random(seed)
         inputs: Dict[str, Fraction] = {}
-        for name in self.skeleton:
+        for name, tau in self.skeleton.items():
+            if not isinstance(tau, T.Num):
+                continue
             low, high = self.input_ranges.get(name, DEFAULT_INPUT_RANGE)
             numerator = rng.randint(1, 10**6)
             fraction = Fraction(numerator, 10**6)

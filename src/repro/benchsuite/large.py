@@ -16,13 +16,15 @@ instead types every element, which is what the paper's timing measures.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..baselines.standard_bounds import (
     dot_product_bound,
     horner_fma_bound,
     serial_summation_bound,
 )
+from ..core import ast as A
+from ..core import types as T
 from ..frontend import expr as E
 from .base import Benchmark, benchmark_from_expression
 
@@ -32,10 +34,14 @@ __all__ = [
     "pairwise_sum_expression",
     "naive_polynomial_expression",
     "dot_product_expression",
+    "mixed_chain_expression",
+    "conditional_ladder_term",
     "horner_benchmark",
     "serial_sum_benchmark",
     "poly50_benchmark",
     "matrix_multiply_benchmark",
+    "mixed_chain_benchmark",
+    "conditional_ladder_benchmark",
     "table4_benchmarks",
 ]
 
@@ -102,6 +108,59 @@ def dot_product_expression(length: int, left: str = "a", right: str = "b") -> E.
         product = E.Mul(E.Var(f"{left}{index}"), E.Var(f"{right}{index}"))
         accumulator = E.Add(accumulator, product)
     return accumulator
+
+
+def mixed_chain_expression(levels: int, prefix: str = "x") -> E.RealExpr:
+    """A chain alternating additions and multiplications.
+
+    Odd levels fold with ``+`` (compiled to a *with*-pair, max metric) and
+    even levels with ``*`` (compiled to a *tensor*-pair, sum metric), so the
+    program exercises both context-combination operators — ``max`` and ``+``
+    — of the bottom-up algorithm on one deep accumulation chain, unlike the
+    single-operator SerialSum/Horner families.
+    """
+    if levels < 1:
+        raise ValueError("need at least one level")
+    accumulator: E.RealExpr = E.Var(f"{prefix}0")
+    for index in range(1, levels + 1):
+        variable = E.Var(f"{prefix}{index}")
+        if index % 2:
+            accumulator = E.Add(accumulator, variable)
+        else:
+            accumulator = E.Mul(accumulator, variable)
+    return accumulator
+
+
+def conditional_ladder_term(depth: int) -> Tuple[A.Term, Dict[str, T.Type]]:
+    """A ``depth``-deep ladder of nested ``case`` eliminations.
+
+    Each rung scrutinises its own boolean input ``b_i`` and either returns
+    the numeric input ``x_i`` or falls through to the next rung, the shape of
+    deeply nested guard logic.  Every rung triggers the (+E) rule: a
+    ``max_with`` join of the branch contexts plus an ``ε``-scaled guard
+    context (the branches never mention the scrutinee, exercising the
+    "ε otherwise" fallback of Fig. 10).  Built directly as a Λnum term —
+    the expression frontend only supports conditionals at the root — and
+    iteratively, so ladders of arbitrary depth need no recursion headroom.
+
+    Returns the term together with its input skeleton.
+    """
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    boolean = T.bool_type()
+    skeleton: Dict[str, T.Type] = {f"x{depth}": T.NUM}
+    term: A.Term = A.Ret(A.Var(f"x{depth}"))
+    for index in range(depth - 1, -1, -1):
+        skeleton[f"b{index}"] = boolean
+        skeleton[f"x{index}"] = T.NUM
+        term = A.Case(
+            A.Var(f"b{index}"),
+            f"_l{index}",
+            A.Ret(A.Var(f"x{index}")),
+            f"_r{index}",
+            term,
+        )
+    return term, skeleton
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +232,35 @@ def matrix_multiply_benchmark(dimension: int, paper_bound: Optional[float] = Non
         ),
         paper_bounds=bounds,
         paper_operations=total_operations,
+    )
+
+
+def mixed_chain_benchmark(levels: int = 256) -> Benchmark:
+    """A Table-4-style scaling row mixing with- and tensor-pair operations."""
+    expression = mixed_chain_expression(levels)
+    return benchmark_from_expression(
+        f"MixedChain{levels}",
+        expression,
+        source_note=(
+            "accumulation chain alternating additions (with-pairs, max metric) and "
+            "multiplications (tensor-pairs, sum metric)"
+        ),
+    )
+
+
+def conditional_ladder_benchmark(depth: int = 256) -> Benchmark:
+    """A Table-5-style scaling row: a deep ladder of nested conditionals."""
+    term, skeleton = conditional_ladder_term(depth)
+    return Benchmark(
+        name=f"CondLadder{depth}",
+        operations=depth,
+        source_note=(
+            "nested case ladder over boolean inputs; every rung joins branch "
+            "contexts with max and charges the guard the ε fallback sensitivity"
+        ),
+        term=term,
+        skeleton=skeleton,
+        supports_baselines=False,
     )
 
 

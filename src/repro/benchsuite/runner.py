@@ -31,8 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.analyzer import ErrorAnalysis
 from ..analysis.batch import BatchAnalyzer
-from ..analysis.cache import AnalysisCache, config_key, default_cache_directory, make_key
-from ..core.ast import term_fingerprint
+from ..analysis.cache import AnalysisCache, default_cache_directory, term_key
 from ..core.inference import InferenceConfig
 from ..floats.formats import format_table
 from ..floats.rounding import rounding_mode_table
@@ -134,21 +133,15 @@ def _analyze_suite(
 ) -> List[Dict[str, object]]:
     """Fan the suite's analyses out through the batch engine, in order.
 
-    Cache keys digest the *term structure* (``term_fingerprint``), so
-    editing a benchmark definition invalidates its cached row even when the
-    name and operation count are unchanged.  The serial path analyses the
-    already-built benchmark objects directly; only the parallel path uses
-    the rebuild-by-name worker.
+    Cache keys digest the *term structure* (``term_key`` over the interned,
+    hash-consed program — a memo hit per lookup), so editing a benchmark
+    definition invalidates its cached row even when the name and operation
+    count are unchanged.  The serial path analyses the already-built
+    benchmark objects directly; only the parallel path uses the
+    rebuild-by-name worker.
     """
     keys = [
-        make_key(
-            "bench",
-            table,
-            benchmark.name,
-            term_fingerprint(benchmark.term),
-            with_baselines,
-            config_key(config),
-        )
+        term_key(benchmark.term, config, "bench", table, benchmark.name, with_baselines)
         for benchmark in benchmarks
     ]
     if engine.jobs > 1:

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .`` or from a checkout)::
     python -m repro fpcore bench.fpcore           # analyse an FPCore benchmark
     python -m repro batch examples/programs -j 4  # analyse a whole directory
     python -m repro table table3                  # regenerate a paper table
+    python -m repro perf --quick                  # inference micro-benchmarks
     python -m repro validate program.lnum -i x=0.5 -i y=2   # Corollary 4.20 check
 
 The ``check`` command prints, per function, the inferred type, the rounding
@@ -95,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("-j", "--jobs", type=int, default=1, help="worker processes")
     table.add_argument("--no-cache", action="store_true", help="disable the result cache")
     table.add_argument("--cache-dir", default=None, metavar="DIR")
+
+    subparsers.add_parser(
+        "perf",
+        help="micro-benchmark the inference kernel and write BENCH_inference.json",
+        add_help=False,
+    )
 
     validate = subparsers.add_parser(
         "validate", help="run the ideal and FP semantics and check the inferred bound"
@@ -263,6 +270,14 @@ def _command_validate(arguments: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["perf"]:
+        # The perf harness owns its argument parsing (repro perf --quick ...);
+        # argparse sub-command REMAINDER handling is unreliable, so dispatch
+        # before the main parser sees the flags.
+        from .perf import bench
+
+        return bench.main(argv[1:])
     parser = build_parser()
     arguments = parser.parse_args(argv)
     handlers = {

@@ -23,6 +23,7 @@ only produced by the floating-point semantics.
 from __future__ import annotations
 
 import itertools
+import weakref
 from fractions import Fraction
 from typing import Dict, Iterator, Optional, Set, Tuple, Union
 
@@ -61,21 +62,48 @@ __all__ = [
     "true_value",
     "false_value",
     "const",
+    "intern_term",
+    "is_interned",
+    "term_fingerprint",
 ]
 
 NumberLike = Union[int, float, Fraction, str]
 
 
 class Term:
-    """Base class of every Λnum term node."""
+    """Base class of every Λnum term node.
 
-    __slots__ = ()
+    Nodes compare by identity.  :func:`intern_term` hash-conses a term into
+    a canonical representative carrying a process-unique ``_intern_id``, so
+    structurally identical (sub)terms become pointer-identical and derived
+    data (such as :func:`term_fingerprint`) can be memoized by identity.
+    """
+
+    __slots__ = ("_intern_id", "__weakref__")
 
     def children(self) -> Tuple["Term", ...]:
         return ()
 
     def __repr__(self) -> str:
         return pretty(self)
+
+    def __getstate__(self):
+        # Interning state is process-local: a pickled term must not carry an
+        # ``_intern_id`` into another process where it would collide with an
+        # unrelated node's id.  Re-intern after unpickling if needed.
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if slot in ("_intern_id", "__weakref__"):
+                    continue
+                state[slot] = getattr(self, slot)
+        return (None, state)
+
+    def __setstate__(self, state):
+        if isinstance(state, tuple):
+            state = state[1] or {}
+        for slot, value in state.items():
+            setattr(self, slot, value)
 
 
 # ---------------------------------------------------------------------------
@@ -505,17 +533,111 @@ def iter_nodes(term: Term) -> Iterator[Term]:
         stack.extend(node.children())
 
 
+# ---------------------------------------------------------------------------
+# Hash-consing
+# ---------------------------------------------------------------------------
+
+#: Structural key -> canonical node.  Weak values: a canonical node stays
+#: alive exactly as long as something (an interned parent, a benchmark, a
+#: cache entry) still references it, so the table never pins dead programs.
+_INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Term]" = weakref.WeakValueDictionary()
+
+#: Process-unique ids for canonical nodes; ids are never reused, which makes
+#: them safe memo keys even after a node is garbage collected.
+_INTERN_IDS = itertools.count(1)
+
+
+def is_interned(term: Term) -> bool:
+    """Is ``term`` a canonical (hash-consed) representative?"""
+    return getattr(term, "_intern_id", None) is not None
+
+
+def intern_term(term: Term) -> Term:
+    """Return the canonical hash-consed representative of ``term``.
+
+    The walk is iterative (safe for million-node benchmark programs) and
+    bottom-up: every child is replaced by its canonical representative, the
+    node's structural key — class, scalar fields, child intern ids — is
+    looked up in the global table, and an equivalent existing node is reused
+    when present.  Afterwards structural equality of interned terms is
+    pointer comparison, shared subtrees (the repeated inner products of the
+    MatrixMultiply benchmarks, say) are stored once, and identity-keyed
+    memos such as :func:`term_fingerprint` hit without re-walking the term.
+    """
+    if getattr(term, "_intern_id", None) is not None:
+        return term
+    canonical_of: Dict[int, Term] = {}
+    stack = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        node_ref = id(node)
+        if node_ref in canonical_of:
+            continue
+        if getattr(node, "_intern_id", None) is not None:
+            canonical_of[node_ref] = node
+            continue
+        if not expanded:
+            stack.append((node, True))
+            for child in node.children():
+                stack.append((child, False))
+            continue
+        cls = type(node)
+        key = [cls]
+        values = []
+        changed = False
+        for slot in cls.__slots__:
+            original = getattr(node, slot)
+            if isinstance(original, Term):
+                value = canonical_of[id(original)]
+                key.append(value._intern_id)
+                changed = changed or value is not original
+            else:
+                value = original
+                key.append(value)
+            values.append(value)
+        key = tuple(key)
+        existing = _INTERN_TABLE.get(key)
+        if existing is not None:
+            canonical_of[node_ref] = existing
+            continue
+        if changed:
+            canonical = cls.__new__(cls)
+            for slot, value in zip(cls.__slots__, values):
+                setattr(canonical, slot, value)
+        else:
+            canonical = node
+        canonical._intern_id = next(_INTERN_IDS)
+        _INTERN_TABLE[key] = canonical
+        canonical_of[node_ref] = canonical
+    return canonical_of[id(term)]
+
+
+#: intern id -> fingerprint.  Keyed by id (ids are never reused), so the
+#: entry simply goes stale when the term dies; only top-level analysed terms
+#: are fingerprinted, keeping this table tiny.
+_FINGERPRINT_MEMO: Dict[int, str] = {}
+
+
 def term_fingerprint(term: Term) -> str:
     """SHA-256 digest of the term's full structure.
 
     Preorder traversal plus per-node arity and scalar labels (names,
     constants, grades, type annotations) uniquely determines the tree, so
-    two terms share a fingerprint iff they are structurally identical.
-    Iterative, so it is safe for the benchmark terms with hundreds of
-    thousands of nodes; used for content-keyed analysis caching.
+    two terms share a fingerprint iff they are structurally identical.  The
+    digest depends only on the structure — never on process-local state such
+    as intern ids — so it is stable across processes and usable as an
+    on-disk cache key.  For interned terms the digest is memoized by intern
+    id, which turns the repeated cache-key computations of the batch engine
+    into dictionary lookups.  Iterative, so it is safe for the benchmark
+    terms with hundreds of thousands of nodes.
     """
     import hashlib
 
+    intern_id = getattr(term, "_intern_id", None)
+    if intern_id is not None:
+        cached = _FINGERPRINT_MEMO.get(intern_id)
+        if cached is not None:
+            return cached
     digest = hashlib.sha256()
     update = digest.update
     for node in iter_nodes(term):
@@ -527,7 +649,10 @@ def term_fingerprint(term: Term) -> str:
                 update(b"|")
                 update(str(value).encode("utf-8"))
         update(b";")
-    return digest.hexdigest()
+    result = digest.hexdigest()
+    if intern_id is not None:
+        _FINGERPRINT_MEMO[intern_id] = result
+    return result
 
 
 def count_rounds(term: Term) -> int:

@@ -16,10 +16,19 @@ that grades form a totally ordered semiring: comparisons are performed on the
 exact rational evaluation, while printing keeps the symbolic form.
 
 The convention ``0 * ∞ = ∞ * 0 = 0`` from Definition 4.2 is respected.
+
+Grades are *interned* (hash-consed): :meth:`Grade.__new__` normalizes the
+polynomial into a canonical term tuple and returns the unique live instance
+for it, so structural equality is pointer comparison, ``hash`` is a cached
+integer, and the exact rational ``evaluate()`` is computed once per distinct
+grade for the whole process.  This is what makes the ``lru_cache`` fast
+paths on the ring operations and the enclosure computations hit at
+dictionary-identity speed during inference on very large terms (Table 4).
 """
 
 from __future__ import annotations
 
+import weakref
 from fractions import Fraction
 from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Tuple, Union
@@ -104,24 +113,39 @@ EPS_SYMBOL = "eps"
 
 DEFAULT_REGISTRY = SymbolRegistry({EPS_SYMBOL: _BINARY64_DIRECTED_EPS})
 
+#: Global intern table: normalized polynomial -> the unique live Grade.
+#: Weak values keep the table from pinning transient grades (e.g. the
+#: per-operation partial sums of a million-node inference) in memory; the
+#: module constants below hold the ubiquitous ones strongly.
+_INTERN: "weakref.WeakValueDictionary[tuple, Grade]" = weakref.WeakValueDictionary()
+
+
+def _restore_grade(infinite: bool, items: tuple) -> "Grade":
+    """Unpickling hook: rebuild through the interning constructor."""
+    if infinite:
+        return Grade(infinite=True)
+    return Grade(dict(items))
+
 
 class Grade:
     """An element of ``R≥0 ∪ {∞}`` represented as a symbolic polynomial.
 
-    Grades are immutable and hashable.  Construct them with
+    Grades are immutable, hashable and *interned*: constructing a grade with
+    an already-seen normalized polynomial returns the existing instance, so
+    ``==`` on two grades is a pointer comparison.  Construct them with
     :meth:`Grade.constant`, :meth:`Grade.symbol`, :meth:`Grade.infinite`, or
     the module helpers :data:`ZERO`, :data:`ONE`, :data:`EPS`,
     :data:`INFINITY` and :func:`as_grade`.
     """
 
-    __slots__ = ("_terms", "_infinite", "_hash", "_eval_cache")
+    __slots__ = ("_terms", "_infinite", "_hash", "_eval_cache", "__weakref__")
 
-    def __init__(
-        self,
+    def __new__(
+        cls,
         terms: Mapping[Monomial, Fraction] | None = None,
         *,
         infinite: bool = False,
-    ) -> None:
+    ) -> "Grade":
         cleaned: Dict[Monomial, Fraction] = {}
         if not infinite and terms:
             for mono, coeff in terms.items():
@@ -131,11 +155,27 @@ class Grade:
                 if frac == 0:
                     continue
                 key = tuple(sorted(mono))
-                cleaned[key] = cleaned.get(key, Fraction(0)) + frac
-        object.__setattr__(self, "_terms", cleaned)
-        object.__setattr__(self, "_infinite", bool(infinite))
-        object.__setattr__(self, "_hash", None)
-        object.__setattr__(self, "_eval_cache", None)
+                if key in cleaned:
+                    cleaned[key] += frac
+                else:
+                    cleaned[key] = frac
+        intern_key = (bool(infinite), tuple(sorted(cleaned.items())))
+        existing = _INTERN.get(intern_key)
+        if existing is not None:
+            return existing
+        self = object.__new__(cls)
+        self._terms = cleaned
+        self._infinite = bool(infinite)
+        self._hash = hash(intern_key)
+        self._eval_cache = None
+        _INTERN[intern_key] = self
+        return self
+
+    def __reduce__(self):
+        # Route unpickling through the interning constructor so a grade
+        # loaded from the on-disk analysis cache is the canonical instance
+        # (and never mutates an interned singleton through slot state).
+        return (_restore_grade, (self._infinite, tuple(self._terms.items())))
 
     # -- constructors ------------------------------------------------------
 
@@ -269,15 +309,18 @@ class Grade:
         return as_grade(other) < self
 
     def __eq__(self, other: object) -> bool:
-        # Structural equality of the symbolic polynomials.  This keeps __eq__
-        # consistent with __hash__; use <=/>= for the numeric (evaluated)
-        # order, and ``numerically_equal`` for numeric equality.
-        if not isinstance(other, (Grade, int, float, Fraction, str)):
+        # Structural equality of the symbolic polynomials.  Interning makes
+        # this a pointer comparison for grade operands; use <=/>= for the
+        # numeric (evaluated) order, and ``numerically_equal`` for numeric
+        # equality.
+        if self is other:
+            return True
+        if isinstance(other, Grade):
+            # Distinct interned instances always denote distinct polynomials.
+            return False
+        if not isinstance(other, (int, float, Fraction, str)):
             return NotImplemented
-        other = as_grade(other)
-        if self._infinite or other._infinite:
-            return self._infinite and other._infinite
-        return self._terms == other._terms
+        return self is as_grade(other)
 
     def numerically_equal(self, other: GradeLike) -> bool:
         """Equality of the evaluated rational values (``2*eps == 2^-51``)."""
@@ -287,20 +330,11 @@ class Grade:
         return self.evaluate() == other.evaluate()
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            if self._infinite:
-                value = hash("∞")
-            else:
-                value = hash(frozenset(self._terms.items()))
-            object.__setattr__(self, "_hash", value)
         return self._hash
 
     def structurally_equal(self, other: GradeLike) -> bool:
-        """Equality of the symbolic polynomials (not just of evaluations)."""
-        other = as_grade(other)
-        if self._infinite or other._infinite:
-            return self._infinite and other._infinite
-        return self._terms == other._terms
+        """Equality of the symbolic polynomials (identity, once interned)."""
+        return self is as_grade(other)
 
     # -- lattice helpers ---------------------------------------------------
 

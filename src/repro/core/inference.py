@@ -13,14 +13,28 @@ context it needs and the rules combine contexts with ``+``, ``max`` and
 scaling.  Contexts are kept *sparse* — variables not mentioned have
 sensitivity zero — which keeps inference linear in the size of the term even
 for programs with hundreds of thousands of operations (Table 4).
+
+Engine
+------
+
+The evaluator is **iterative**: an explicit work stack of
+``(node, stage, saved-binding)`` frames drives a post-order walk, and a
+dispatch table built once per term class (no per-node ``getattr``) applies
+each rule when its premises are on the result stack.  Skeleton extension
+under binders mutates a single scope dictionary with an undo entry carried
+in the frame, so entering a binder is ``O(1)`` instead of an ``O(n)`` dict
+copy.  There is no recursion and therefore no recursion limit: million-node
+terms (and the 50k-deep sequenced benchmarks of Table 4) infer under the
+default interpreter settings.  The micro-benchmark harness
+(``repro perf``, see ``docs/performance.md``) tracks this path against the
+naive recursive reference engine in :mod:`repro.perf.reference`.
 """
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass, field, replace
 from fractions import Fraction
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from . import ast as A
 from . import types as T
@@ -31,9 +45,6 @@ from .signature import Signature, standard_signature
 from .subtyping import is_subtype, join
 
 __all__ = ["InferenceConfig", "InferenceResult", "infer", "infer_type", "check_term"]
-
-#: Recursion headroom for deeply sequenced benchmark programs (SerialSum etc.).
-_MIN_RECURSION_LIMIT = 20_000
 
 
 @dataclass(frozen=True)
@@ -82,11 +93,8 @@ def infer(
 ) -> InferenceResult:
     """Run sensitivity inference on ``term`` under the skeleton ``Γ•``."""
     config = config or InferenceConfig()
-    skeleton = dict(skeleton or {})
-    if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-        sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
-    engine = _Inference(config)
-    context, tau = engine.infer(term, skeleton)
+    engine = _Engine(config)
+    context, tau = engine.run(term, dict(skeleton or {}))
     return InferenceResult(context, tau)
 
 
@@ -114,194 +122,362 @@ def check_term(
     return result
 
 
-class _Inference:
-    """The recursive engine implementing the rules of Fig. 10."""
+# ---------------------------------------------------------------------------
+# The iterative engine
+# ---------------------------------------------------------------------------
+
+#: Marks a variable that was unbound before a binder shadowed it.
+_ABSENT = object()
+
+#: A judgement on the result stack: (context, type).
+_Judgement = Tuple[Context, T.Type]
+
+
+class _Engine:
+    """Explicit-stack evaluator for the rules of Fig. 10.
+
+    ``run`` drives a frame stack where each frame is ``(term, stage, aux)``:
+    stage 0 expands a node (pushing its premises), later stages fire once the
+    premises' judgements sit on the result stack.  ``aux`` carries the saved
+    skeleton binding that the stage must restore when it leaves a binder's
+    scope, keeping the single scope dict consistent with the DFS position.
+    """
+
+    __slots__ = ("config", "signature", "skeleton", "stack", "results")
 
     def __init__(self, config: InferenceConfig) -> None:
         self.config = config
         self.signature = config.signature
 
-    # -- entry point --------------------------------------------------------
+    def run(self, term: A.Term, skeleton: Dict[str, T.Type]) -> _Judgement:
+        self.skeleton = skeleton
+        stack: List[Tuple[A.Term, int, object]] = [(term, 0, None)]
+        self.stack = stack
+        results: List[_Judgement] = []
+        self.results = results
+        dispatch = _DISPATCH
+        while stack:
+            node, stage, aux = stack.pop()
+            handler = dispatch.get(type(node))
+            if handler is None:
+                raise TypeInferenceError(
+                    f"no inference rule for term node {type(node).__name__}"
+                )
+            handler(self, node, stage, aux)
+        return results.pop()
 
-    def infer(self, term: A.Term, skeleton: Dict[str, T.Type]) -> Tuple[Context, T.Type]:
-        method = getattr(self, f"_infer_{type(term).__name__}", None)
-        if method is None:
-            raise TypeInferenceError(f"no inference rule for term node {type(term).__name__}")
-        return method(term, skeleton)
+    # -- scope bookkeeping --------------------------------------------------
 
-    # -- values -------------------------------------------------------------
+    def _enter(self, name: str, tau: T.Type) -> object:
+        """Bind ``name : tau`` in the scope dict, returning the shadowed entry."""
+        saved = self.skeleton.get(name, _ABSENT)
+        self.skeleton[name] = tau
+        return saved
 
-    def _infer_Var(self, term: A.Var, skeleton: Dict[str, T.Type]):
-        if term.name not in skeleton:
-            raise TypeInferenceError(f"unbound variable {term.name!r}")
-        tau = skeleton[term.name]
-        return Context.single(term.name, tau, ONE), tau
+    def _leave(self, name: str, saved: object) -> None:
+        if saved is _ABSENT:
+            del self.skeleton[name]
+        else:
+            self.skeleton[name] = saved
 
-    def _infer_UnitVal(self, term: A.UnitVal, skeleton):
-        return Context.empty(), T.UNIT
 
-    def _infer_Const(self, term: A.Const, skeleton):
-        return Context.empty(), T.NUM
+# -- values ------------------------------------------------------------------
 
-    def _infer_WithPair(self, term: A.WithPair, skeleton):
-        left_ctx, left_ty = self.infer(term.left, skeleton)
-        right_ctx, right_ty = self.infer(term.right, skeleton)
-        return left_ctx.max_with(right_ctx), T.WithProduct(left_ty, right_ty)
 
-    def _infer_TensorPair(self, term: A.TensorPair, skeleton):
-        left_ctx, left_ty = self.infer(term.left, skeleton)
-        right_ctx, right_ty = self.infer(term.right, skeleton)
-        return left_ctx + right_ctx, T.TensorProduct(left_ty, right_ty)
+def _infer_var(eng: _Engine, term: A.Var, stage: int, aux) -> None:
+    tau = eng.skeleton.get(term.name)
+    if tau is None:
+        raise TypeInferenceError(f"unbound variable {term.name!r}")
+    eng.results.append((Context.single(term.name, tau, ONE), tau))
 
-    def _infer_Inl(self, term: A.Inl, skeleton):
-        ctx, tau = self.infer(term.value, skeleton)
-        return ctx, T.SumType(tau, term.other_type)
 
-    def _infer_Inr(self, term: A.Inr, skeleton):
-        ctx, tau = self.infer(term.value, skeleton)
-        return ctx, T.SumType(term.other_type, tau)
+def _infer_unit(eng: _Engine, term: A.UnitVal, stage: int, aux) -> None:
+    eng.results.append((Context.empty(), T.UNIT))
 
-    def _infer_Lambda(self, term: A.Lambda, skeleton):
-        inner_skeleton = dict(skeleton)
-        inner_skeleton[term.parameter] = term.parameter_type
-        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
-        sensitivity = body_ctx.sensitivity_of(term.parameter)
-        if not (sensitivity <= ONE):
-            raise TypeInferenceError(
-                f"lambda body is {sensitivity}-sensitive in {term.parameter!r}; a plain "
-                f"function type permits sensitivity at most 1 — wrap the argument type "
-                f"in ![{sensitivity}] and eliminate it with `let [..] = ..`"
-            )
-        return body_ctx.remove(term.parameter), T.Arrow(term.parameter_type, body_ty)
 
-    def _infer_Box(self, term: A.Box, skeleton):
-        ctx, tau = self.infer(term.value, skeleton)
-        return ctx.scale(term.scale), T.Bang(term.scale, tau)
+def _infer_const(eng: _Engine, term: A.Const, stage: int, aux) -> None:
+    eng.results.append((Context.empty(), T.NUM))
 
-    def _infer_Rnd(self, term: A.Rnd, skeleton):
-        ctx, tau = self.infer(term.value, skeleton)
-        if not isinstance(tau, T.Num):
-            raise TypeInferenceError(f"rnd expects a numeric argument, got {tau}")
-        return ctx, T.Monadic(self.config.rnd_grade, T.NUM)
 
-    def _infer_Ret(self, term: A.Ret, skeleton):
-        ctx, tau = self.infer(term.value, skeleton)
-        return ctx, T.Monadic(ZERO, tau)
+def _infer_err(eng: _Engine, term: A.Err, stage: int, aux) -> None:
+    # err : M_u τ for any u, τ (Section 7.1); infer the least grade and a
+    # numeric payload, callers may loosen by subsumption.
+    eng.results.append((Context.empty(), T.Monadic(ZERO, T.NUM)))
 
-    def _infer_Err(self, term: A.Err, skeleton):
-        # err : M_u τ for any u, τ (Section 7.1); infer the least grade and a
-        # numeric payload, callers may loosen by subsumption.
-        return Context.empty(), T.Monadic(ZERO, T.NUM)
 
-    # -- computations -------------------------------------------------------
+def _infer_with_pair(eng: _Engine, term: A.WithPair, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.right, 0, None), (term.left, 0, None))
+        return
+    right_ctx, right_ty = eng.results.pop()
+    left_ctx, left_ty = eng.results.pop()
+    eng.results.append((left_ctx.max_with(right_ctx), T.WithProduct(left_ty, right_ty)))
 
-    def _infer_App(self, term: A.App, skeleton):
-        fun_ctx, fun_ty = self.infer(term.function, skeleton)
-        arg_ctx, arg_ty = self.infer(term.argument, skeleton)
-        if not isinstance(fun_ty, T.Arrow):
-            raise TypeInferenceError(f"application of a non-function value of type {fun_ty}")
-        if not is_subtype(arg_ty, fun_ty.argument):
-            raise TypeInferenceError(
-                f"argument type {arg_ty} is not a subtype of the expected {fun_ty.argument}"
-            )
-        return fun_ctx + arg_ctx, fun_ty.result
 
-    def _infer_Proj(self, term: A.Proj, skeleton):
-        ctx, tau = self.infer(term.value, skeleton)
-        if not isinstance(tau, T.WithProduct):
-            raise TypeInferenceError(f"projection expects a with-product, got {tau}")
-        return ctx, tau.left if term.index == 1 else tau.right
+def _infer_tensor_pair(eng: _Engine, term: A.TensorPair, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.right, 0, None), (term.left, 0, None))
+        return
+    right_ctx, right_ty = eng.results.pop()
+    left_ctx, left_ty = eng.results.pop()
+    eng.results.append((left_ctx + right_ctx, T.TensorProduct(left_ty, right_ty)))
 
-    def _infer_LetTensor(self, term: A.LetTensor, skeleton):
-        value_ctx, value_ty = self.infer(term.value, skeleton)
+
+def _infer_inl(eng: _Engine, term: A.Inl, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    ctx, tau = eng.results.pop()
+    eng.results.append((ctx, T.SumType(tau, term.other_type)))
+
+
+def _infer_inr(eng: _Engine, term: A.Inr, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    ctx, tau = eng.results.pop()
+    eng.results.append((ctx, T.SumType(term.other_type, tau)))
+
+
+def _infer_lambda(eng: _Engine, term: A.Lambda, stage: int, aux) -> None:
+    if stage == 0:
+        saved = eng._enter(term.parameter, term.parameter_type)
+        eng.stack += ((term, 1, saved), (term.body, 0, None))
+        return
+    eng._leave(term.parameter, aux)
+    body_ctx, body_ty = eng.results.pop()
+    sensitivity = body_ctx.sensitivity_of(term.parameter)
+    if not (sensitivity <= ONE):
+        raise TypeInferenceError(
+            f"lambda body is {sensitivity}-sensitive in {term.parameter!r}; a plain "
+            f"function type permits sensitivity at most 1 — wrap the argument type "
+            f"in ![{sensitivity}] and eliminate it with `let [..] = ..`"
+        )
+    eng.results.append(
+        (body_ctx.remove(term.parameter), T.Arrow(term.parameter_type, body_ty))
+    )
+
+
+def _infer_box(eng: _Engine, term: A.Box, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    ctx, tau = eng.results.pop()
+    eng.results.append((ctx.scale(term.scale), T.Bang(term.scale, tau)))
+
+
+def _infer_rnd(eng: _Engine, term: A.Rnd, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    ctx, tau = eng.results.pop()
+    if not isinstance(tau, T.Num):
+        raise TypeInferenceError(f"rnd expects a numeric argument, got {tau}")
+    eng.results.append((ctx, T.Monadic(eng.config.rnd_grade, T.NUM)))
+
+
+def _infer_ret(eng: _Engine, term: A.Ret, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    ctx, tau = eng.results.pop()
+    eng.results.append((ctx, T.Monadic(ZERO, tau)))
+
+
+# -- computations ------------------------------------------------------------
+
+
+def _infer_app(eng: _Engine, term: A.App, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.argument, 0, None), (term.function, 0, None))
+        return
+    arg_ctx, arg_ty = eng.results.pop()
+    fun_ctx, fun_ty = eng.results.pop()
+    if not isinstance(fun_ty, T.Arrow):
+        raise TypeInferenceError(f"application of a non-function value of type {fun_ty}")
+    if not is_subtype(arg_ty, fun_ty.argument):
+        raise TypeInferenceError(
+            f"argument type {arg_ty} is not a subtype of the expected {fun_ty.argument}"
+        )
+    eng.results.append((fun_ctx + arg_ctx, fun_ty.result))
+
+
+def _infer_proj(eng: _Engine, term: A.Proj, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    ctx, tau = eng.results.pop()
+    if not isinstance(tau, T.WithProduct):
+        raise TypeInferenceError(f"projection expects a with-product, got {tau}")
+    eng.results.append((ctx, tau.left if term.index == 1 else tau.right))
+
+
+def _infer_let_tensor(eng: _Engine, term: A.LetTensor, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    if stage == 1:
+        value_ty = eng.results[-1][1]
         if not isinstance(value_ty, T.TensorProduct):
-            raise TypeInferenceError(f"let (x, y) = ... expects a tensor product, got {value_ty}")
-        inner_skeleton = dict(skeleton)
-        inner_skeleton[term.left_var] = value_ty.left
-        inner_skeleton[term.right_var] = value_ty.right
-        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
-        s_left = body_ctx.sensitivity_of(term.left_var)
-        s_right = body_ctx.sensitivity_of(term.right_var)
-        scale = s_left.max(s_right)
-        residual = body_ctx.remove(term.left_var, term.right_var)
-        return residual + value_ctx.scale(scale), body_ty
+            raise TypeInferenceError(
+                f"let (x, y) = ... expects a tensor product, got {value_ty}"
+            )
+        saved_left = eng._enter(term.left_var, value_ty.left)
+        saved_right = eng._enter(term.right_var, value_ty.right)
+        eng.stack += ((term, 2, (saved_left, saved_right)), (term.body, 0, None))
+        return
+    saved_left, saved_right = aux
+    eng._leave(term.right_var, saved_right)
+    eng._leave(term.left_var, saved_left)
+    body_ctx, body_ty = eng.results.pop()
+    value_ctx, _value_ty = eng.results.pop()
+    s_left = body_ctx.sensitivity_of(term.left_var)
+    s_right = body_ctx.sensitivity_of(term.right_var)
+    scale = s_left.max(s_right)
+    residual = body_ctx.remove(term.left_var, term.right_var)
+    eng.results.append((residual + value_ctx.scale(scale), body_ty))
 
-    def _infer_Case(self, term: A.Case, skeleton):
-        scrutinee_ctx, scrutinee_ty = self.infer(term.scrutinee, skeleton)
+
+def _infer_case(eng: _Engine, term: A.Case, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.scrutinee, 0, None))
+        return
+    if stage == 1:
+        scrutinee_ty = eng.results[-1][1]
         if not isinstance(scrutinee_ty, T.SumType):
             raise TypeInferenceError(f"case expects a sum type, got {scrutinee_ty}")
-        left_skeleton = dict(skeleton)
-        left_skeleton[term.left_var] = scrutinee_ty.left
-        left_ctx, left_ty = self.infer(term.left_body, left_skeleton)
-        right_skeleton = dict(skeleton)
-        right_skeleton[term.right_var] = scrutinee_ty.right
-        right_ctx, right_ty = self.infer(term.right_body, right_skeleton)
+        saved = eng._enter(term.left_var, scrutinee_ty.left)
+        eng.stack += ((term, 2, saved), (term.left_body, 0, None))
+        return
+    if stage == 2:
+        eng._leave(term.left_var, aux)
+        scrutinee_ty = eng.results[-2][1]
+        saved = eng._enter(term.right_var, scrutinee_ty.right)
+        eng.stack += ((term, 3, saved), (term.right_body, 0, None))
+        return
+    eng._leave(term.right_var, aux)
+    right_ctx, right_ty = eng.results.pop()
+    left_ctx, left_ty = eng.results.pop()
+    scrutinee_ctx, _scrutinee_ty = eng.results.pop()
 
-        s_left = left_ctx.sensitivity_of(term.left_var)
-        s_right = right_ctx.sensitivity_of(term.right_var)
-        guard_sensitivity = s_left.max(s_right)
-        if guard_sensitivity.is_zero:
-            # The (+E) rule requires a strictly positive guard sensitivity to
-            # retain the dependence on the scrutinee (Fig. 10, "ε otherwise").
-            guard_sensitivity = self.config.case_guard_sensitivity
-        residual = left_ctx.remove(term.left_var).max_with(right_ctx.remove(term.right_var))
-        result_type = join(left_ty, right_ty)
-        return residual + scrutinee_ctx.scale(guard_sensitivity), result_type
+    s_left = left_ctx.sensitivity_of(term.left_var)
+    s_right = right_ctx.sensitivity_of(term.right_var)
+    guard_sensitivity = s_left.max(s_right)
+    if guard_sensitivity.is_zero:
+        # The (+E) rule requires a strictly positive guard sensitivity to
+        # retain the dependence on the scrutinee (Fig. 10, "ε otherwise").
+        guard_sensitivity = eng.config.case_guard_sensitivity
+    residual = left_ctx.remove(term.left_var).max_with(right_ctx.remove(term.right_var))
+    result_type = join(left_ty, right_ty)
+    eng.results.append((residual + scrutinee_ctx.scale(guard_sensitivity), result_type))
 
-    def _infer_LetBox(self, term: A.LetBox, skeleton):
-        value_ctx, value_ty = self.infer(term.value, skeleton)
+
+def _infer_let_box(eng: _Engine, term: A.LetBox, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    if stage == 1:
+        value_ty = eng.results[-1][1]
         if not isinstance(value_ty, T.Bang):
             raise TypeInferenceError(f"let [x] = ... expects a !-type, got {value_ty}")
-        inner_skeleton = dict(skeleton)
-        inner_skeleton[term.variable] = value_ty.inner
-        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
-        needed = body_ctx.sensitivity_of(term.variable)
-        scale = _divide_sensitivity(needed, value_ty.sensitivity, term.variable)
-        residual = body_ctx.remove(term.variable)
-        return residual + value_ctx.scale(scale), body_ty
+        saved = eng._enter(term.variable, value_ty.inner)
+        eng.stack += ((term, 2, saved), (term.body, 0, None))
+        return
+    eng._leave(term.variable, aux)
+    body_ctx, body_ty = eng.results.pop()
+    value_ctx, value_ty = eng.results.pop()
+    needed = body_ctx.sensitivity_of(term.variable)
+    scale = _divide_sensitivity(needed, value_ty.sensitivity, term.variable)
+    residual = body_ctx.remove(term.variable)
+    eng.results.append((residual + value_ctx.scale(scale), body_ty))
 
-    def _infer_LetBind(self, term: A.LetBind, skeleton):
-        value_ctx, value_ty = self.infer(term.value, skeleton)
+
+def _infer_let_bind(eng: _Engine, term: A.LetBind, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    if stage == 1:
+        value_ty = eng.results[-1][1]
         if not isinstance(value_ty, T.Monadic):
             raise TypeInferenceError(
                 f"let-bind expects a monadic value on the right of '=', got {value_ty}"
             )
-        inner_skeleton = dict(skeleton)
-        inner_skeleton[term.variable] = value_ty.inner
-        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
-        if not isinstance(body_ty, T.Monadic):
-            raise TypeInferenceError(
-                f"the body of a monadic let-bind must have monadic type, got {body_ty}"
-            )
-        sensitivity = body_ctx.sensitivity_of(term.variable)
-        grade = sensitivity * value_ty.grade + body_ty.grade
-        residual = body_ctx.remove(term.variable)
-        context = residual + value_ctx.scale(sensitivity)
-        return context, T.Monadic(grade, body_ty.inner)
+        saved = eng._enter(term.variable, value_ty.inner)
+        eng.stack += ((term, 2, saved), (term.body, 0, None))
+        return
+    eng._leave(term.variable, aux)
+    body_ctx, body_ty = eng.results.pop()
+    value_ctx, value_ty = eng.results.pop()
+    if not isinstance(body_ty, T.Monadic):
+        raise TypeInferenceError(
+            f"the body of a monadic let-bind must have monadic type, got {body_ty}"
+        )
+    sensitivity = body_ctx.sensitivity_of(term.variable)
+    grade = sensitivity * value_ty.grade + body_ty.grade
+    residual = body_ctx.remove(term.variable)
+    context = residual + value_ctx.scale(sensitivity)
+    eng.results.append((context, T.Monadic(grade, body_ty.inner)))
 
-    def _infer_Let(self, term: A.Let, skeleton):
-        bound_ctx, bound_ty = self.infer(term.bound, skeleton)
-        inner_skeleton = dict(skeleton)
-        inner_skeleton[term.variable] = bound_ty
-        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
-        sensitivity = body_ctx.sensitivity_of(term.variable)
-        if sensitivity.is_zero and not self.config.allow_unused_let:
-            raise TypeInferenceError(
-                f"let-bound variable {term.variable!r} is unused and the configuration "
-                f"forbids zero-sensitivity lets (Fig. 2 requires s > 0)"
-            )
-        residual = body_ctx.remove(term.variable)
-        return residual + bound_ctx.scale(sensitivity), body_ty
 
-    def _infer_Op(self, term: A.Op, skeleton):
-        operation = self.signature.lookup(term.name)
-        ctx, tau = self.infer(term.value, skeleton)
-        if not is_subtype(tau, operation.input_type):
-            raise TypeInferenceError(
-                f"operation {term.name!r} expects an argument of type "
-                f"{operation.input_type}, got {tau}"
-            )
-        return ctx, operation.result_type
+def _infer_let(eng: _Engine, term: A.Let, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.bound, 0, None))
+        return
+    if stage == 1:
+        bound_ty = eng.results[-1][1]
+        saved = eng._enter(term.variable, bound_ty)
+        eng.stack += ((term, 2, saved), (term.body, 0, None))
+        return
+    eng._leave(term.variable, aux)
+    body_ctx, body_ty = eng.results.pop()
+    bound_ctx, _bound_ty = eng.results.pop()
+    sensitivity = body_ctx.sensitivity_of(term.variable)
+    if sensitivity.is_zero and not eng.config.allow_unused_let:
+        raise TypeInferenceError(
+            f"let-bound variable {term.variable!r} is unused and the configuration "
+            f"forbids zero-sensitivity lets (Fig. 2 requires s > 0)"
+        )
+    residual = body_ctx.remove(term.variable)
+    eng.results.append((residual + bound_ctx.scale(sensitivity), body_ty))
+
+
+def _infer_op(eng: _Engine, term: A.Op, stage: int, aux) -> None:
+    if stage == 0:
+        eng.stack += ((term, 1, None), (term.value, 0, None))
+        return
+    operation = eng.signature.lookup(term.name)
+    ctx, tau = eng.results.pop()
+    if not is_subtype(tau, operation.input_type):
+        raise TypeInferenceError(
+            f"operation {term.name!r} expects an argument of type "
+            f"{operation.input_type}, got {tau}"
+        )
+    eng.results.append((ctx, operation.result_type))
+
+
+#: Rule dispatch, built once per term class at import time.
+_DISPATCH = {
+    A.Var: _infer_var,
+    A.UnitVal: _infer_unit,
+    A.Const: _infer_const,
+    A.Err: _infer_err,
+    A.WithPair: _infer_with_pair,
+    A.TensorPair: _infer_tensor_pair,
+    A.Inl: _infer_inl,
+    A.Inr: _infer_inr,
+    A.Lambda: _infer_lambda,
+    A.Box: _infer_box,
+    A.Rnd: _infer_rnd,
+    A.Ret: _infer_ret,
+    A.App: _infer_app,
+    A.Proj: _infer_proj,
+    A.LetTensor: _infer_let_tensor,
+    A.Case: _infer_case,
+    A.LetBox: _infer_let_box,
+    A.LetBind: _infer_let_bind,
+    A.Let: _infer_let,
+    A.Op: _infer_op,
+}
 
 
 def _divide_sensitivity(needed: Grade, declared: Grade, variable: str) -> Grade:

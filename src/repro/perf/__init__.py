@@ -1,0 +1,33 @@
+"""Micro-benchmark harness for the inference kernel (``repro perf``).
+
+See ``docs/performance.md`` for the kernel design, how to run the suite and
+how to read the ``BENCH_inference.json`` trajectory it maintains.
+"""
+
+from .bench import (
+    BENCH_FILENAME,
+    compare_with_baseline,
+    load_report,
+    main,
+    render_report,
+    run_suite,
+    write_report,
+)
+from .families import FAMILIES, build_family, parameter_for_nodes
+from .reference import NaiveContext, call_with_deep_stack, reference_infer
+
+__all__ = [
+    "BENCH_FILENAME",
+    "FAMILIES",
+    "NaiveContext",
+    "build_family",
+    "call_with_deep_stack",
+    "compare_with_baseline",
+    "load_report",
+    "main",
+    "parameter_for_nodes",
+    "reference_infer",
+    "render_report",
+    "run_suite",
+    "write_report",
+]

@@ -1,0 +1,506 @@
+"""Micro-benchmark registry and runner behind ``repro perf``.
+
+The suite times the three layers of the inference kernel:
+
+* **inference** — the iterative engine of :mod:`repro.core.inference` on the
+  parametric program families of :mod:`repro.perf.families` at ``10^3`` to
+  ``10^5`` nodes, against the seed recursive engine
+  (:func:`repro.perf.reference.reference_infer`) as the *before* baseline;
+* **algebra** — interned :class:`~repro.core.grades.Grade` ring operations
+  and persistent :class:`~repro.core.environment.Context` merges against
+  their naive dict-based reference implementations;
+* **exactmath** — the exact rational enclosures used to convert RP grades
+  into relative-error bounds.
+
+``run_suite`` returns a JSON-serializable report and ``write_report`` stores
+it (by default as ``BENCH_inference.json`` in the working directory), giving
+every future change a recorded trajectory to beat.  ``compare_with_baseline``
+implements the CI smoke gate: it fails when any benchmark is slower than a
+checked-in baseline by more than the allowed ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.environment import Context
+from ..core.grades import EPS, Grade
+from ..core.inference import InferenceConfig, infer
+from ..core.types import NUM
+from ..floats.exactmath import rp_distance_enclosure
+from .families import FAMILIES, parameter_for_nodes
+from .reference import NaiveContext, call_with_deep_stack, reference_infer
+
+__all__ = [
+    "BENCH_FILENAME",
+    "REPORT_SCHEMA",
+    "run_suite",
+    "write_report",
+    "load_report",
+    "compare_with_baseline",
+    "render_report",
+]
+
+BENCH_FILENAME = "BENCH_inference.json"
+REPORT_SCHEMA = 1
+
+#: Node-count targets for the inference families.
+FULL_SIZES: Tuple[int, ...] = (1_000, 10_000, 100_000)
+QUICK_SIZES: Tuple[int, ...] = (1_000,)
+
+#: Below this many seconds a measurement is treated as noise by the baseline
+#: gate (micro-benchmarks on shared CI machines jitter by milliseconds).
+NOISE_FLOOR_SECONDS = 0.005
+
+#: Largest node count at which the quadratic seed engine is still timed per
+#: family.  SerialSum — the paper's canonical wide-let-chain (Table 4) — is
+#: measured all the way to 10^5 nodes so the committed report carries a full
+#: before/after at the scale the paper quotes (~15 min of seed time for that
+#: single row).  The other families stop earlier: the seed costs minutes per
+#: additional 10^5-node row (the conditional ladder alone is ~19 s at 10^4)
+#: and the extra rows repeat the same quadratic story.
+LEGACY_NODE_CAPS: Dict[str, int] = {
+    "serial_sum": 150_000,
+    "conditional_ladder": 15_000,
+}
+DEFAULT_LEGACY_NODE_CAP = 50_000
+
+
+def _best_of(function: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        function()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _repeats_for(seconds_estimate: float, quick: bool) -> int:
+    if seconds_estimate > 1.0:
+        return 1
+    return 2 if quick else 3
+
+
+# ---------------------------------------------------------------------------
+# Individual benchmark builders
+# ---------------------------------------------------------------------------
+
+
+def _inference_benchmarks(
+    sizes: Sequence[int],
+    family_names: Sequence[str],
+    include_legacy: bool,
+    quick: bool,
+    progress: Callable[[str], None],
+) -> List[Dict[str, object]]:
+    config = InferenceConfig()
+    results: List[Dict[str, object]] = []
+    for family_name in family_names:
+        for target in sizes:
+            parameter = parameter_for_nodes(family_name, target)
+            term, skeleton, nodes = FAMILIES[family_name].instantiate(parameter)
+            name = f"infer/{family_name}/{target}"
+            progress(f"  {name}: {nodes} nodes (parameter {parameter})")
+
+            once = _best_of(lambda: infer(term, skeleton, config), 1)
+            repeats = _repeats_for(once, quick)
+            seconds = min(once, _best_of(lambda: infer(term, skeleton, config), repeats - 1)) if repeats > 1 else once
+
+            legacy_seconds: Optional[float] = None
+            legacy_cap = LEGACY_NODE_CAPS.get(family_name, DEFAULT_LEGACY_NODE_CAP)
+            legacy_skipped = include_legacy and nodes > legacy_cap
+            if include_legacy and not legacy_skipped:
+                limit = 2 * nodes + 10_000
+
+                def timed_reference() -> float:
+                    return _best_of(
+                        lambda: reference_infer(term, skeleton, config, limit), 1
+                    )
+
+                legacy_seconds = call_with_deep_stack(timed_reference, limit)
+            entry: Dict[str, object] = {
+                "name": name,
+                "category": "inference",
+                "family": family_name,
+                "parameter": parameter,
+                "nodes": nodes,
+                "seconds": seconds,
+                "legacy_seconds": legacy_seconds,
+                "speedup": (legacy_seconds / seconds) if legacy_seconds else None,
+                "repeats": repeats,
+            }
+            if legacy_skipped:
+                entry["legacy_skipped"] = (
+                    f"seed engine is quadratic here; not timed beyond {legacy_cap} nodes"
+                )
+            results.append(entry)
+    return results
+
+
+#: Distinct base grades for the ring workload.  Inference combines the same
+#: few grades (per-operation error grades, small sensitivities) over and
+#: over, so the workload cycles through a fixed pool — the access pattern
+#: the interned kernel and its memoized ring operations are built for.
+_GRADE_POOL_SIZE = 61
+
+
+def _grade_pool():
+    return [
+        Grade.constant(Fraction(index + 1, 7)) + EPS * (index + 1)
+        for index in range(_GRADE_POOL_SIZE)
+    ]
+
+
+def _grade_workload(count: int) -> None:
+    pool = _grade_pool()
+    size = len(pool)
+    accumulator = Grade.constant(0)
+    for index in range(count):
+        left = pool[index % size]
+        right = pool[(index * 7 + 3) % size]
+        combined = (left + right).max(left * right)
+        accumulator = accumulator.max(combined)
+    accumulator.evaluate()
+
+
+def _naive_grade_workload(count: int) -> None:
+    from .reference import naive_add_terms, naive_mul_terms
+
+    pool = [grade.terms() for grade in _grade_pool()]
+    registry_eval = lambda terms: sum(
+        (coeff * Fraction(1, 2**52) ** len(mono) for mono, coeff in terms.items()),
+        Fraction(0),
+    )
+    size = len(pool)
+    best = Fraction(0)
+    for index in range(count):
+        left = pool[index % size]
+        right = pool[(index * 7 + 3) % size]
+        added = naive_add_terms(left, right)
+        multiplied = naive_mul_terms(left, right)
+        combined = added if registry_eval(added) >= registry_eval(multiplied) else multiplied
+        value = registry_eval(combined)
+        if value > best:
+            best = value
+
+
+def _context_workload(width: int) -> None:
+    accumulator = Context.empty()
+    for index in range(width):
+        accumulator = accumulator + Context.single(f"v{index}", NUM, 1)
+        if index % 8 == 0:
+            accumulator = accumulator.max_with(
+                Context.single(f"v{index // 2}", NUM, 2)
+            ).scale(1)
+    accumulator.sensitivity_of("v0")
+
+
+def _naive_context_workload(width: int) -> None:
+    accumulator = NaiveContext.empty()
+    for index in range(width):
+        accumulator = accumulator + NaiveContext.single(f"v{index}", NUM, 1)
+        if index % 8 == 0:
+            accumulator = accumulator.max_with(
+                NaiveContext.single(f"v{index // 2}", NUM, 2)
+            ).scale(1)
+    accumulator.sensitivity_of("v0")
+
+
+def _exactmath_workload(count: int, salt: int) -> None:
+    for index in range(count):
+        x = Fraction(10**6 + 13 * index + salt, 10**6)
+        y = Fraction(10**6 + 29 * index + 7 * salt + 1, 10**6)
+        rp_distance_enclosure(x, y)
+
+
+def _algebra_benchmarks(
+    include_legacy: bool, quick: bool, progress: Callable[[str], None]
+) -> List[Dict[str, object]]:
+    results: List[Dict[str, object]] = []
+
+    grade_count = 2_000 if quick else 20_000
+    progress(f"  grade/ring_ops: {grade_count} operations")
+    seconds = _best_of(lambda: _grade_workload(grade_count), 3)
+    legacy = _best_of(lambda: _naive_grade_workload(grade_count), 3) if include_legacy else None
+    results.append(
+        {
+            "name": "grade/ring_ops",
+            "category": "algebra",
+            "parameter": grade_count,
+            "nodes": None,
+            "seconds": seconds,
+            "legacy_seconds": legacy,
+            "speedup": (legacy / seconds) if legacy else None,
+            "repeats": 3,
+        }
+    )
+
+    width = 800 if quick else 4_000
+    progress(f"  context/wide_merge: {width} bindings")
+    seconds = _best_of(lambda: _context_workload(width), 3)
+    legacy = _best_of(lambda: _naive_context_workload(width), 3) if include_legacy else None
+    results.append(
+        {
+            "name": "context/wide_merge",
+            "category": "algebra",
+            "parameter": width,
+            "nodes": None,
+            "seconds": seconds,
+            "legacy_seconds": legacy,
+            "speedup": (legacy / seconds) if legacy else None,
+            "repeats": 3,
+        }
+    )
+
+    count = 50 if quick else 400
+    progress(f"  exactmath/rp_enclosure: {count} enclosures")
+    # Fresh inputs per repetition: the production ``lru_cache`` would
+    # otherwise serve every repetition after the first from memory.
+    salt_box = [0]
+
+    def enclosures() -> None:
+        salt_box[0] += 1
+        _exactmath_workload(count, salt_box[0])
+
+    seconds = _best_of(enclosures, 3)
+    results.append(
+        {
+            "name": "exactmath/rp_enclosure",
+            "category": "exactmath",
+            "parameter": count,
+            "nodes": None,
+            "seconds": seconds,
+            "legacy_seconds": None,
+            "speedup": None,
+            "repeats": 3,
+        }
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Suite driver
+# ---------------------------------------------------------------------------
+
+
+def run_suite(
+    quick: bool = False,
+    include_legacy: bool = True,
+    families: Optional[Sequence[str]] = None,
+    sizes: Optional[Sequence[int]] = None,
+    progress: Callable[[str], None] = lambda line: None,
+) -> Dict[str, object]:
+    """Run the full micro-benchmark suite and return the report dict."""
+    family_names = list(families) if families else list(FAMILIES)
+    unknown = [name for name in family_names if name not in FAMILIES]
+    if unknown:
+        raise ValueError(f"unknown inference families: {', '.join(unknown)}")
+    node_targets = list(sizes) if sizes else list(QUICK_SIZES if quick else FULL_SIZES)
+
+    progress("inference families:")
+    benchmarks = _inference_benchmarks(
+        node_targets, family_names, include_legacy, quick, progress
+    )
+    progress("algebra / exactmath:")
+    benchmarks.extend(_algebra_benchmarks(include_legacy, quick, progress))
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "suite": "repro-perf",
+        "quick": quick,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engines": {
+            "current": "repro.core.inference (iterative, interned grades, persistent contexts)",
+            "legacy": "repro.perf.reference (seed: recursive walk, dict contexts)",
+        },
+        "sizes": node_targets,
+        "benchmarks": benchmarks,
+    }
+
+
+def write_report(report: Dict[str, object], path: str = BENCH_FILENAME) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_with_baseline(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    max_ratio: float = 3.0,
+) -> Tuple[bool, List[str]]:
+    """CI gate: fail when a benchmark regresses ``> max_ratio ×`` vs baseline.
+
+    Baselines carry absolute wall-clock times from whatever machine recorded
+    them, so the gate is *host-normalized*: every benchmark's current/baseline
+    ratio is divided by the median ratio of the run before applying
+    ``max_ratio``.  A CI runner that is uniformly 2× slower than the baseline
+    machine shifts every ratio — and the median — by the same factor and
+    passes, while a single benchmark regressing relative to the rest still
+    fails.  (A change that slows *all* benchmarks equally is caught by the
+    per-machine trajectory in ``BENCH_inference.json``, not this smoke gate.)
+
+    Benchmarks absent from the baseline are reported as informational; times
+    below :data:`NOISE_FLOOR_SECONDS` never fail the gate.
+    """
+    baseline_by_name = {
+        entry["name"]: entry for entry in baseline.get("benchmarks", [])
+    }
+    compared: List[Tuple[Dict[str, object], float, float]] = []
+    lines: List[str] = []
+    for entry in report.get("benchmarks", []):
+        name = entry["name"]
+        seconds = float(entry["seconds"])
+        reference = baseline_by_name.get(name)
+        if reference is None:
+            lines.append(f"  new       {name}: {seconds * 1e3:.2f} ms (no baseline)")
+            continue
+        reference_seconds = float(reference["seconds"])
+        ratio = seconds / reference_seconds if reference_seconds > 0 else float("inf")
+        compared.append((entry, reference_seconds, ratio))
+
+    finite_ratios = sorted(r for _, _, r in compared if r != float("inf"))
+    # Lower median: a genuine regression sits in the upper half of the
+    # ratios and must not drag the host factor up with it.
+    median_ratio = (
+        finite_ratios[(len(finite_ratios) - 1) // 2] if finite_ratios else 1.0
+    )
+    # Never *tighten* the gate on a faster-than-baseline machine.
+    host_factor = max(median_ratio, 1.0)
+
+    ok = True
+    for entry, reference_seconds, ratio in compared:
+        seconds = float(entry["seconds"])
+        normalized = ratio / host_factor
+        regressed = (
+            normalized > max_ratio
+            and seconds > NOISE_FLOOR_SECONDS
+            and seconds - reference_seconds > NOISE_FLOOR_SECONDS
+        )
+        status = "REGRESSED" if regressed else "ok"
+        lines.append(
+            f"  {status:9s} {entry['name']}: {seconds * 1e3:.2f} ms "
+            f"(baseline {reference_seconds * 1e3:.2f} ms, {ratio:.2f}x raw, "
+            f"{normalized:.2f}x host-normalized)"
+        )
+        if regressed:
+            ok = False
+    if compared:
+        lines.append(f"  host factor: {host_factor:.2f}x (median of raw ratios)")
+    return ok, lines
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable table of one suite run."""
+    lines = [
+        f"repro perf ({'quick' if report.get('quick') else 'full'}) — "
+        f"python {report.get('python')}"
+    ]
+    header = f"{'benchmark':<34} {'nodes':>8} {'current':>12} {'legacy':>12} {'speedup':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in report.get("benchmarks", []):
+        nodes = entry.get("nodes")
+        legacy = entry.get("legacy_seconds")
+        speedup = entry.get("speedup")
+        lines.append(
+            f"{entry['name']:<34} "
+            f"{nodes if nodes is not None else '-':>8} "
+            f"{entry['seconds'] * 1e3:>10.2f}ms "
+            f"{(legacy * 1e3 if legacy else float('nan')):>10.2f}ms "
+            f"{(f'{speedup:.1f}x' if speedup else '-'):>8}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro perf", description="Inference-kernel micro-benchmarks"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        default=BENCH_FILENAME,
+        metavar="PATH",
+        help=f"where to write the JSON report (default ./{BENCH_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-legacy",
+        action="store_true",
+        help="skip the seed reference engine (no before/after speedups)",
+    )
+    parser.add_argument(
+        "--families",
+        default=None,
+        metavar="A,B",
+        help=f"comma-separated inference families (default all: {','.join(FAMILIES)})",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        metavar="N,M",
+        help="comma-separated node-count targets (default 1000,10000,100000; quick: 1000)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="compare against a checked-in report and fail on regressions",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=3.0,
+        metavar="RATIO",
+        help="failure threshold for --baseline (default 3.0x)",
+    )
+    arguments = parser.parse_args(argv)
+
+    families = arguments.families.split(",") if arguments.families else None
+    sizes = (
+        [int(size) for size in arguments.sizes.split(",")] if arguments.sizes else None
+    )
+    report = run_suite(
+        quick=arguments.quick,
+        include_legacy=not arguments.no_legacy,
+        families=families,
+        sizes=sizes,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(render_report(report))
+    path = write_report(report, arguments.out)
+    print(f"\nreport written to {path}")
+
+    if arguments.baseline:
+        baseline = load_report(arguments.baseline)
+        ok, lines = compare_with_baseline(
+            report, baseline, max_ratio=arguments.max_regression
+        )
+        print(f"\nbaseline comparison ({arguments.max_regression:g}x gate):")
+        print("\n".join(lines))
+        if not ok:
+            print("perf gate FAILED")
+            return 1
+        print("perf gate passed")
+    return 0

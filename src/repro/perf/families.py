@@ -1,0 +1,119 @@
+"""Parametric program families for the inference micro-benchmarks.
+
+Each family maps a size parameter (operations, levels, …) to a closed
+``(term, skeleton)`` pair in the shape of one of the paper's scaling
+benchmarks (Table 4/5): serial summation, Horner evaluation, inner products,
+deep conditional ladders and mixed with-/tensor-pair chains.  The perf
+harness asks for a *node count* target (``10^3 .. 10^5``) and
+:func:`parameter_for_nodes` converts it into the family parameter by
+measuring the family's nodes-per-parameter density on a probe instance —
+families grow linearly in their parameter, so the conversion is exact up to
+rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..benchsuite.large import (
+    conditional_ladder_term,
+    dot_product_expression,
+    horner_fma_expression,
+    mixed_chain_expression,
+    serial_sum_expression,
+)
+from ..core import ast as A
+from ..core.types import Type
+from ..frontend.compiler import compile_expression
+
+__all__ = ["Family", "FAMILIES", "build_family", "parameter_for_nodes"]
+
+Build = Callable[[int], Tuple[A.Term, Dict[str, Type]]]
+
+
+@dataclass(frozen=True)
+class Family:
+    """One parametric program family."""
+
+    name: str
+    build: Build
+    description: str
+    min_parameter: int = 2
+
+    def instantiate(self, parameter: int) -> Tuple[A.Term, Dict[str, Type], int]:
+        """Build ``(term, skeleton, node_count)`` at ``parameter``."""
+        term, skeleton = self.build(max(parameter, self.min_parameter))
+        term = A.intern_term(term)
+        return term, skeleton, A.term_size(term)
+
+
+def _from_expression(expression) -> Tuple[A.Term, Dict[str, Type]]:
+    compiled = compile_expression(expression)
+    return compiled.term, dict(compiled.skeleton)
+
+
+def _serial_sum(parameter: int):
+    return _from_expression(serial_sum_expression(parameter))
+
+
+def _horner(parameter: int):
+    return _from_expression(horner_fma_expression(parameter))
+
+
+def _dot_product(parameter: int):
+    return _from_expression(dot_product_expression(parameter))
+
+
+def _mixed_chain(parameter: int):
+    return _from_expression(mixed_chain_expression(parameter))
+
+
+FAMILIES: Dict[str, Family] = {
+    family.name: family
+    for family in (
+        Family(
+            "serial_sum",
+            _serial_sum,
+            "left-to-right summation (SerialSum, Table 4): one long let-bind "
+            "chain whose accumulated context grows by one variable per op",
+        ),
+        Family(
+            "horner",
+            _horner,
+            "Horner FMA evaluation (Horner-n, Table 4): fused multiply-adds "
+            "mixing tensor- and with-pair premises",
+        ),
+        Family(
+            "dot_product",
+            _dot_product,
+            "serial inner product (the MatrixMultiply element, Table 4): "
+            "tensor-pair products folded by with-pair additions",
+        ),
+        Family(
+            "conditional_ladder",
+            conditional_ladder_term,
+            "deep nested-case ladder (Table 5 shape): max_with joins plus the "
+            "ε guard fallback at every rung",
+            min_parameter=1,
+        ),
+        Family(
+            "mixed_chain",
+            _mixed_chain,
+            "alternating add/mul accumulation chain: interleaves the max- and "
+            "sum-metric context combinations on one spine",
+        ),
+    )
+}
+
+
+def build_family(name: str, parameter: int) -> Tuple[A.Term, Dict[str, Type], int]:
+    return FAMILIES[name].instantiate(parameter)
+
+
+def parameter_for_nodes(name: str, target_nodes: int, probe_parameter: int = 64) -> int:
+    """The family parameter whose instance has roughly ``target_nodes`` nodes."""
+    family = FAMILIES[name]
+    _, _, probe_nodes = family.instantiate(probe_parameter)
+    per_parameter = max(probe_nodes / max(probe_parameter, 1), 1e-9)
+    return max(family.min_parameter, round(target_nodes / per_parameter))

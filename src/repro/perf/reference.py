@@ -1,0 +1,413 @@
+"""Naive reference implementations of the inference kernel.
+
+This module preserves, verbatim in behaviour, the *seed* implementation of
+the hot path that ``repro.core`` has since replaced:
+
+* :class:`NaiveContext` — the original dict-backed context whose ``+``,
+  ``max_with`` and ``scale`` rebuild a fresh dict of **all** bindings
+  (``O(total bindings)`` per operation, quadratic over a wide let-chain);
+* :func:`reference_infer` — the original recursive, ``getattr``-dispatched
+  walk of Fig. 10, which needs ``sys.setrecursionlimit`` headroom for deep
+  terms;
+* :func:`naive_add_terms` / :func:`naive_mul_terms` — textbook polynomial
+  arithmetic on plain monomial dicts, the specification of the interned
+  :class:`~repro.core.grades.Grade` ring operations.
+
+It exists for two reasons.  The property tests
+(``tests/test_grades_properties.py``) check that the interned, persistent
+production kernel agrees with these naive semantics on randomized inputs —
+the reference is the executable specification.  And the ``repro perf``
+harness times it as the *before* engine, so ``BENCH_inference.json`` records
+an honest speedup of the iterative kernel over the seed algorithm rather
+than over a strawman.
+
+The recursive walk is inherently depth-limited: callers measuring large
+terms should run it via :func:`call_with_deep_stack`, which hosts the call
+in a worker thread with a large stack and a raised recursion limit without
+disturbing the main thread's interpreter settings.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from fractions import Fraction
+from typing import Callable, Dict, Mapping, Optional, Tuple, TypeVar
+
+from ..core import ast as A
+from ..core import types as T
+from ..core.errors import TypeCheckError, TypeInferenceError
+from ..core.grades import Grade, GradeLike, ONE, ZERO, as_grade
+from ..core.inference import InferenceConfig, _divide_sensitivity
+from ..core.subtyping import is_subtype, join
+from ..core.types import Type
+
+__all__ = [
+    "NaiveContext",
+    "naive_add_terms",
+    "naive_mul_terms",
+    "reference_infer",
+    "call_with_deep_stack",
+]
+
+_R = TypeVar("_R")
+
+
+# ---------------------------------------------------------------------------
+# Naive grade arithmetic (the specification of Grade.__add__/__mul__)
+# ---------------------------------------------------------------------------
+
+
+def naive_add_terms(
+    left: Mapping[Tuple[str, ...], Fraction], right: Mapping[Tuple[str, ...], Fraction]
+) -> Dict[Tuple[str, ...], Fraction]:
+    """Coefficient-wise sum of two monomial -> coefficient maps."""
+    terms = dict(left)
+    for mono, coeff in right.items():
+        terms[mono] = terms.get(mono, Fraction(0)) + coeff
+    return {mono: coeff for mono, coeff in terms.items() if coeff != 0}
+
+
+def naive_mul_terms(
+    left: Mapping[Tuple[str, ...], Fraction], right: Mapping[Tuple[str, ...], Fraction]
+) -> Dict[Tuple[str, ...], Fraction]:
+    """Distributive product of two monomial -> coefficient maps."""
+    terms: Dict[Tuple[str, ...], Fraction] = {}
+    for mono_a, coeff_a in left.items():
+        for mono_b, coeff_b in right.items():
+            mono = tuple(sorted(mono_a + mono_b))
+            terms[mono] = terms.get(mono, Fraction(0)) + coeff_a * coeff_b
+    return {mono: coeff for mono, coeff in terms.items() if coeff != 0}
+
+
+# ---------------------------------------------------------------------------
+# The seed's dict-backed context
+# ---------------------------------------------------------------------------
+
+
+class NaiveContext:
+    """The original context representation: one flat dict, copied per op."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[str, Tuple[Type, Grade]] | None = None) -> None:
+        data: Dict[str, Tuple[Type, Grade]] = {}
+        if bindings:
+            for name, (tau, sens) in bindings.items():
+                data[name] = (tau, as_grade(sens))
+        self._bindings = data
+
+    @staticmethod
+    def empty() -> "NaiveContext":
+        return NaiveContext()
+
+    @staticmethod
+    def single(name: str, tau: Type, sensitivity: GradeLike = 1) -> "NaiveContext":
+        return NaiveContext({name: (tau, as_grade(sensitivity))})
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bindings
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self._bindings)
+
+    def sensitivity_of(self, name: str) -> Grade:
+        if name not in self._bindings:
+            return ZERO
+        return self._bindings[name][1]
+
+    def type_of(self, name: str) -> Type:
+        return self._bindings[name][0]
+
+    def as_dict(self) -> Dict[str, Tuple[Type, Grade]]:
+        return dict(self._bindings)
+
+    def remove(self, *names: str) -> "NaiveContext":
+        return NaiveContext(
+            {k: v for k, v in self._bindings.items() if k not in names}
+        )
+
+    def summable_with(self, other: "NaiveContext") -> bool:
+        for name, (tau, _) in self._bindings.items():
+            if name in other._bindings and other._bindings[name][0] != tau:
+                return False
+        return True
+
+    def __add__(self, other: "NaiveContext") -> "NaiveContext":
+        if not self.summable_with(other):
+            raise TypeCheckError(
+                "contexts are not summable: a shared variable has two different types"
+            )
+        data = dict(self._bindings)
+        for name, (tau, sens) in other._bindings.items():
+            if name in data:
+                data[name] = (tau, data[name][1] + sens)
+            else:
+                data[name] = (tau, sens)
+        return NaiveContext(data)
+
+    def scale(self, factor: GradeLike) -> "NaiveContext":
+        factor = as_grade(factor)
+        return NaiveContext(
+            {name: (tau, factor * sens) for name, (tau, sens) in self._bindings.items()}
+        )
+
+    def max_with(self, other: "NaiveContext") -> "NaiveContext":
+        if not self.summable_with(other):
+            raise TypeCheckError(
+                "contexts cannot be joined: a shared variable has two different types"
+            )
+        data = dict(self._bindings)
+        for name, (tau, sens) in other._bindings.items():
+            if name in data:
+                data[name] = (tau, data[name][1].max(sens))
+            else:
+                data[name] = (tau, sens)
+        return NaiveContext(data)
+
+
+# ---------------------------------------------------------------------------
+# The seed's recursive engine
+# ---------------------------------------------------------------------------
+
+
+class _RecursiveEngine:
+    """The seed's node-by-node recursive walk with per-node getattr dispatch."""
+
+    def __init__(self, config: InferenceConfig) -> None:
+        self.config = config
+        self.signature = config.signature
+
+    def infer(self, term: A.Term, skeleton: Dict[str, Type]):
+        method = getattr(self, f"_infer_{type(term).__name__}", None)
+        if method is None:
+            raise TypeInferenceError(
+                f"no inference rule for term node {type(term).__name__}"
+            )
+        return method(term, skeleton)
+
+    def _infer_Var(self, term: A.Var, skeleton):
+        if term.name not in skeleton:
+            raise TypeInferenceError(f"unbound variable {term.name!r}")
+        tau = skeleton[term.name]
+        return NaiveContext.single(term.name, tau, ONE), tau
+
+    def _infer_UnitVal(self, term, skeleton):
+        return NaiveContext.empty(), T.UNIT
+
+    def _infer_Const(self, term, skeleton):
+        return NaiveContext.empty(), T.NUM
+
+    def _infer_WithPair(self, term, skeleton):
+        left_ctx, left_ty = self.infer(term.left, skeleton)
+        right_ctx, right_ty = self.infer(term.right, skeleton)
+        return left_ctx.max_with(right_ctx), T.WithProduct(left_ty, right_ty)
+
+    def _infer_TensorPair(self, term, skeleton):
+        left_ctx, left_ty = self.infer(term.left, skeleton)
+        right_ctx, right_ty = self.infer(term.right, skeleton)
+        return left_ctx + right_ctx, T.TensorProduct(left_ty, right_ty)
+
+    def _infer_Inl(self, term, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        return ctx, T.SumType(tau, term.other_type)
+
+    def _infer_Inr(self, term, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        return ctx, T.SumType(term.other_type, tau)
+
+    def _infer_Lambda(self, term, skeleton):
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.parameter] = term.parameter_type
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        sensitivity = body_ctx.sensitivity_of(term.parameter)
+        if not (sensitivity <= ONE):
+            raise TypeInferenceError(
+                f"lambda body is {sensitivity}-sensitive in {term.parameter!r}"
+            )
+        return body_ctx.remove(term.parameter), T.Arrow(term.parameter_type, body_ty)
+
+    def _infer_Box(self, term, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        return ctx.scale(term.scale), T.Bang(term.scale, tau)
+
+    def _infer_Rnd(self, term, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        if not isinstance(tau, T.Num):
+            raise TypeInferenceError(f"rnd expects a numeric argument, got {tau}")
+        return ctx, T.Monadic(self.config.rnd_grade, T.NUM)
+
+    def _infer_Ret(self, term, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        return ctx, T.Monadic(ZERO, tau)
+
+    def _infer_Err(self, term, skeleton):
+        return NaiveContext.empty(), T.Monadic(ZERO, T.NUM)
+
+    def _infer_App(self, term, skeleton):
+        fun_ctx, fun_ty = self.infer(term.function, skeleton)
+        arg_ctx, arg_ty = self.infer(term.argument, skeleton)
+        if not isinstance(fun_ty, T.Arrow):
+            raise TypeInferenceError(f"application of a non-function value of type {fun_ty}")
+        if not is_subtype(arg_ty, fun_ty.argument):
+            raise TypeInferenceError(
+                f"argument type {arg_ty} is not a subtype of the expected {fun_ty.argument}"
+            )
+        return fun_ctx + arg_ctx, fun_ty.result
+
+    def _infer_Proj(self, term, skeleton):
+        ctx, tau = self.infer(term.value, skeleton)
+        if not isinstance(tau, T.WithProduct):
+            raise TypeInferenceError(f"projection expects a with-product, got {tau}")
+        return ctx, tau.left if term.index == 1 else tau.right
+
+    def _infer_LetTensor(self, term, skeleton):
+        value_ctx, value_ty = self.infer(term.value, skeleton)
+        if not isinstance(value_ty, T.TensorProduct):
+            raise TypeInferenceError(
+                f"let (x, y) = ... expects a tensor product, got {value_ty}"
+            )
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.left_var] = value_ty.left
+        inner_skeleton[term.right_var] = value_ty.right
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        s_left = body_ctx.sensitivity_of(term.left_var)
+        s_right = body_ctx.sensitivity_of(term.right_var)
+        scale = s_left.max(s_right)
+        residual = body_ctx.remove(term.left_var, term.right_var)
+        return residual + value_ctx.scale(scale), body_ty
+
+    def _infer_Case(self, term, skeleton):
+        scrutinee_ctx, scrutinee_ty = self.infer(term.scrutinee, skeleton)
+        if not isinstance(scrutinee_ty, T.SumType):
+            raise TypeInferenceError(f"case expects a sum type, got {scrutinee_ty}")
+        left_skeleton = dict(skeleton)
+        left_skeleton[term.left_var] = scrutinee_ty.left
+        left_ctx, left_ty = self.infer(term.left_body, left_skeleton)
+        right_skeleton = dict(skeleton)
+        right_skeleton[term.right_var] = scrutinee_ty.right
+        right_ctx, right_ty = self.infer(term.right_body, right_skeleton)
+
+        s_left = left_ctx.sensitivity_of(term.left_var)
+        s_right = right_ctx.sensitivity_of(term.right_var)
+        guard_sensitivity = s_left.max(s_right)
+        if guard_sensitivity.is_zero:
+            guard_sensitivity = self.config.case_guard_sensitivity
+        residual = left_ctx.remove(term.left_var).max_with(
+            right_ctx.remove(term.right_var)
+        )
+        result_type = join(left_ty, right_ty)
+        return residual + scrutinee_ctx.scale(guard_sensitivity), result_type
+
+    def _infer_LetBox(self, term, skeleton):
+        value_ctx, value_ty = self.infer(term.value, skeleton)
+        if not isinstance(value_ty, T.Bang):
+            raise TypeInferenceError(f"let [x] = ... expects a !-type, got {value_ty}")
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.variable] = value_ty.inner
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        needed = body_ctx.sensitivity_of(term.variable)
+        scale = _divide_sensitivity(needed, value_ty.sensitivity, term.variable)
+        residual = body_ctx.remove(term.variable)
+        return residual + value_ctx.scale(scale), body_ty
+
+    def _infer_LetBind(self, term, skeleton):
+        value_ctx, value_ty = self.infer(term.value, skeleton)
+        if not isinstance(value_ty, T.Monadic):
+            raise TypeInferenceError(
+                f"let-bind expects a monadic value on the right of '=', got {value_ty}"
+            )
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.variable] = value_ty.inner
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        if not isinstance(body_ty, T.Monadic):
+            raise TypeInferenceError(
+                f"the body of a monadic let-bind must have monadic type, got {body_ty}"
+            )
+        sensitivity = body_ctx.sensitivity_of(term.variable)
+        grade = sensitivity * value_ty.grade + body_ty.grade
+        residual = body_ctx.remove(term.variable)
+        context = residual + value_ctx.scale(sensitivity)
+        return context, T.Monadic(grade, body_ty.inner)
+
+    def _infer_Let(self, term, skeleton):
+        bound_ctx, bound_ty = self.infer(term.bound, skeleton)
+        inner_skeleton = dict(skeleton)
+        inner_skeleton[term.variable] = bound_ty
+        body_ctx, body_ty = self.infer(term.body, inner_skeleton)
+        sensitivity = body_ctx.sensitivity_of(term.variable)
+        if sensitivity.is_zero and not self.config.allow_unused_let:
+            raise TypeInferenceError(
+                f"let-bound variable {term.variable!r} is unused"
+            )
+        residual = body_ctx.remove(term.variable)
+        return residual + bound_ctx.scale(sensitivity), body_ty
+
+    def _infer_Op(self, term, skeleton):
+        operation = self.signature.lookup(term.name)
+        ctx, tau = self.infer(term.value, skeleton)
+        if not is_subtype(tau, operation.input_type):
+            raise TypeInferenceError(
+                f"operation {term.name!r} expects an argument of type "
+                f"{operation.input_type}, got {tau}"
+            )
+        return ctx, operation.result_type
+
+
+def reference_infer(
+    term: A.Term,
+    skeleton: Mapping[str, Type] | None = None,
+    config: InferenceConfig | None = None,
+    min_recursion_limit: int = 20_000,
+) -> Tuple[NaiveContext, Type]:
+    """Run the seed recursive engine; returns ``(context, type)``.
+
+    Raises the recursion limit to ``min_recursion_limit`` (the seed's
+    behaviour) if the current limit is lower.  For terms deeper than that,
+    wrap the call in :func:`call_with_deep_stack`.
+    """
+    config = config or InferenceConfig()
+    if sys.getrecursionlimit() < min_recursion_limit:
+        sys.setrecursionlimit(min_recursion_limit)
+    engine = _RecursiveEngine(config)
+    return engine.infer(term, dict(skeleton or {}))
+
+
+def call_with_deep_stack(
+    function: Callable[[], _R],
+    recursion_limit: int,
+    stack_bytes: int = 512 * 1024 * 1024,
+) -> _R:
+    """Run ``function`` in a worker thread with a large stack.
+
+    The thread gets its own raised recursion limit (``sys.setrecursionlimit``
+    is interpreter-wide, so the previous value is restored afterwards); the
+    big thread stack keeps very deep pure-Python recursion safe.  Used to
+    measure the legacy recursive engine on benchmark terms far beyond the
+    default recursion limit.
+    """
+    outcome: Dict[str, object] = {}
+
+    def target() -> None:
+        previous = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(max(previous, recursion_limit))
+            outcome["value"] = function()
+        except BaseException as error:  # propagated to the caller below
+            outcome["error"] = error
+        finally:
+            sys.setrecursionlimit(previous)
+
+    threading.stack_size(stack_bytes)
+    try:
+        thread = threading.Thread(target=target, name="repro-perf-deep-stack")
+        thread.start()
+        thread.join()
+    finally:
+        threading.stack_size(0)
+    if "error" in outcome:
+        raise outcome["error"]  # type: ignore[misc]
+    return outcome["value"]  # type: ignore[return-value]

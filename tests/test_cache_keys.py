@@ -1,0 +1,94 @@
+"""Regression tests for analysis cache keys (stability + intern fast path).
+
+Cache keys must be pure functions of *content* — never of process-local
+state such as intern ids or ``PYTHONHASHSEED`` — because the disk tier of
+:class:`repro.analysis.cache.AnalysisCache` is shared across processes.  The
+hard-coded digests below pin the key derivation: if either test starts
+failing, the on-disk format changed and :data:`CACHE_SCHEMA` must be bumped
+alongside (see the schema history note in ``repro/analysis/cache.py``).
+"""
+
+import subprocess
+import sys
+
+from repro.analysis.cache import CACHE_SCHEMA, term_key
+from repro.core import ast as A
+from repro.core.ast import intern_term, is_interned, term_fingerprint
+
+
+def _sample_term() -> A.Term:
+    return A.Let(
+        "s",
+        A.Op("add", A.WithPair(A.Var("x"), A.Const("1/3"))),
+        A.Rnd(A.Var("s")),
+    )
+
+
+#: Pinned digests (computed once; stable across processes and platforms).
+EXPECTED_FINGERPRINT = "a77fbeea12c835de54d4980f831ade0f541dbbcb2e95246810a9f36ecc43b177"
+EXPECTED_TERM_KEY = "87bd9c72e84379d48237ae523fdbc88d3e860e7b04d021fd2589a72e921473fe"
+
+
+class TestFingerprintStability:
+    def test_fingerprint_is_pinned(self):
+        assert term_fingerprint(_sample_term()) == EXPECTED_FINGERPRINT
+
+    def test_term_key_is_pinned(self):
+        assert CACHE_SCHEMA == 2  # the pinned key embeds the schema version
+        assert term_key(_sample_term(), None) == EXPECTED_TERM_KEY
+
+    def test_interned_and_plain_terms_agree(self):
+        # The intern-id memo is a fast path, not a different key space.
+        plain = _sample_term()
+        interned = intern_term(_sample_term())
+        assert is_interned(interned) and not is_interned(plain)
+        assert term_fingerprint(interned) == term_fingerprint(plain)
+        assert term_key(interned, None) == term_key(plain, None)
+
+    def test_memo_hit_returns_same_digest(self):
+        interned = intern_term(_sample_term())
+        first = term_fingerprint(interned)
+        assert term_fingerprint(interned) == first  # served from the memo
+
+    def test_stable_across_processes(self):
+        # A fresh interpreter (fresh hash seed, fresh intern ids) must
+        # derive the identical key.
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from repro.analysis.cache import term_key\n"
+            "from repro.core import ast as A\n"
+            "from repro.core.ast import intern_term\n"
+            "term = intern_term(A.Let('s', A.Op('add', A.WithPair(A.Var('x'), "
+            "A.Const('1/3'))), A.Rnd(A.Var('s'))))\n"
+            "print(term_key(term, None))\n"
+        )
+        import os
+
+        source_root = os.path.join(os.path.dirname(__file__), "..", "src")
+        output = subprocess.run(
+            [sys.executable, "-c", script, source_root],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONHASHSEED": "random"},
+        ).stdout.strip()
+        assert output == EXPECTED_TERM_KEY
+
+
+class TestFingerprintDiscrimination:
+    def test_different_structure_different_key(self):
+        left = _sample_term()
+        right = A.Let(
+            "s",
+            A.Op("mul", A.TensorPair(A.Var("x"), A.Const("1/3"))),
+            A.Rnd(A.Var("s")),
+        )
+        assert term_fingerprint(left) != term_fingerprint(right)
+        assert term_key(left, None) != term_key(right, None)
+
+    def test_scalar_fields_participate(self):
+        from fractions import Fraction
+
+        one_third = A.Box(A.Var("x"), Fraction(1, 3))
+        one_half = A.Box(A.Var("x"), Fraction(1, 2))
+        assert term_fingerprint(one_third) != term_fingerprint(one_half)
