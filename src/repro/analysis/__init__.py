@@ -9,7 +9,15 @@ from .analyzer import (
     analyze_term,
     check_error_soundness,
 )
-from .batch import BatchAnalyzer, BatchItem, BatchResult, ProgramReport, discover_items
+from .batch import (
+    BatchAnalyzer,
+    BatchItem,
+    BatchResult,
+    PoolHandle,
+    ProgramReport,
+    analyze_item,
+    discover_items,
+)
 from .bounds import (
     relative_error_from_rp,
     relative_error_from_rp_linear,
@@ -25,9 +33,11 @@ __all__ = [
     "BatchResult",
     "CacheStats",
     "ErrorAnalysis",
+    "PoolHandle",
     "ProgramReport",
     "SoundnessReport",
     "analyze_definition",
+    "analyze_item",
     "analyze_program",
     "analyze_source",
     "analyze_term",

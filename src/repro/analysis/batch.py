@@ -29,8 +29,14 @@ table harness are thin layers over this engine.
 from __future__ import annotations
 
 import os
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -41,9 +47,11 @@ from .cache import AnalysisCache, CacheStats, source_key
 
 __all__ = [
     "BatchItem",
+    "PoolHandle",
     "ProgramReport",
     "BatchResult",
     "BatchAnalyzer",
+    "analyze_item",
     "discover_items",
     "SOURCE_SUFFIXES",
 ]
@@ -285,6 +293,95 @@ def _call_task(task: Tuple[Callable[..., Any], Tuple[Any, ...]]) -> Any:
     return function(*arguments)
 
 
+#: Public alias: one program through the full pipeline, errors as failed
+#: reports.  The service scheduler submits this to its executor.
+analyze_item = _analyze_item
+
+
+# ---------------------------------------------------------------------------
+# The shared worker pool
+# ---------------------------------------------------------------------------
+
+
+class PoolHandle:
+    """A lazily-created, *reusable* executor for analysis work.
+
+    Historically every ``map_tasks`` call span up (and tore down) its own
+    ``ProcessPoolExecutor``; long-lived callers — the ``repro serve``
+    scheduler, repeated table runs — would re-pay worker startup on every
+    batch.  A handle creates its executor on first use and keeps it until
+    :meth:`close`.
+
+    ``jobs > 1`` is backed by a ``ProcessPoolExecutor`` with ``jobs``
+    workers; ``jobs <= 1`` by a single worker *thread*, which keeps
+    execution in-process (sharing the intern tables and parse memos) while
+    still providing the non-blocking ``submit`` surface asyncio callers
+    need via ``run_in_executor``.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = max(1, int(jobs or 1))
+        self._executor: Optional[Executor] = None
+        # Guards lazy creation: two threads racing the first submit must
+        # not each construct (and one of them leak) an executor.
+        self._lock = threading.Lock()
+
+    @property
+    def executor(self) -> Executor:
+        with self._lock:
+            if self._executor is None:
+                if self.jobs > 1:
+                    self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=1, thread_name_prefix="repro-pool"
+                    )
+            return self._executor
+
+    @property
+    def started(self) -> bool:
+        return self._executor is not None
+
+    def submit(self, function: Callable[..., Any], *arguments: Any):
+        try:
+            return self.executor.submit(function, *arguments)
+        except BrokenExecutor:
+            # A crashed worker (OOM-killed process, say) poisons the whole
+            # executor permanently; the per-call pools this class replaced
+            # isolated such crashes, so recover by rebuilding.
+            self.reset()
+            return self.executor.submit(function, *arguments)
+
+    def map(self, function: Callable[[Any], Any], iterable: Sequence[Any]) -> List[Any]:
+        try:
+            return list(self.executor.map(function, iterable))
+        except BrokenExecutor:
+            # The current call is lost either way, but drop the poisoned
+            # executor so the next one starts from a healthy pool.
+            self.reset()
+            raise
+
+    def reset(self) -> None:
+        """Discard the executor (broken or not) without waiting on it."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent); a later use re-creates it."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "PoolHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 # ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
@@ -297,6 +394,12 @@ class BatchAnalyzer:
     startup); ``jobs=N`` uses a ``ProcessPoolExecutor`` with ``N`` workers.
     Results are identical either way — the pool only changes wall-clock
     time — and are always returned in input order.
+
+    The pool is a reusable :class:`PoolHandle`: the first parallel batch
+    creates the workers and later batches reuse them.  Callers that want
+    deterministic teardown (tests, the service) can pass their own handle
+    or use the analyzer as a context manager; otherwise the executor lives
+    until interpreter exit, exactly like any other module-level pool.
     """
 
     def __init__(
@@ -304,10 +407,21 @@ class BatchAnalyzer:
         jobs: Optional[int] = None,
         cache: Optional[AnalysisCache] = None,
         config: Optional[InferenceConfig] = None,
+        pool: Optional[PoolHandle] = None,
     ) -> None:
-        self.jobs = max(1, int(jobs or 1))
+        self.jobs = pool.jobs if pool is not None else max(1, int(jobs or 1))
         self.cache = cache
         self.config = config
+        self.pool = pool if pool is not None else PoolHandle(self.jobs)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "BatchAnalyzer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # -- generic cached fan-out --------------------------------------------
 
@@ -338,8 +452,7 @@ class BatchAnalyzer:
         if pending:
             if self.jobs > 1 and len(pending) > 1:
                 tasks = [(worker, tuple(arguments[index])) for index in pending]
-                with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-                    values = list(pool.map(_call_task, tasks))
+                values = self.pool.map(_call_task, tasks)
             else:
                 values = [worker(*arguments[index]) for index in pending]
             for index, value in zip(pending, values):

@@ -34,6 +34,14 @@ dictionary probe instead of re-serializing hundreds of thousands of nodes;
 un-interned terms fall back to the full structural walk.  Either way the
 key itself is the *content* digest — never a process-local id — so keys
 are stable across processes and the on-disk tier stays valid.
+
+Two properties matter to the long-lived ``repro serve`` process
+(:mod:`repro.service`): the memory tier and the counters are guarded by a
+lock, so the asyncio event loop, executor result threads and worker
+threads can share one cache; and the disk tier is *bounded* — a
+max-entry and total-byte budget enforced by oldest-first eviction
+(reads refresh mtimes, so "oldest" approximates least-recently-used) —
+so sustained traffic cannot grow ``~/.cache/repro-lnum`` without limit.
 """
 
 from __future__ import annotations
@@ -42,9 +50,10 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, List, Optional, Tuple
 
 from ..core import ast as A
 from ..core.inference import InferenceConfig
@@ -52,6 +61,8 @@ from ..core.parser import Program, parse_program
 
 __all__ = [
     "CACHE_SCHEMA",
+    "DEFAULT_DISK_MAX_ENTRIES",
+    "DEFAULT_DISK_MAX_BYTES",
     "CacheStats",
     "AnalysisCache",
     "config_key",
@@ -69,6 +80,13 @@ __all__ = [
 #: pickle representation of cached analyses, so schema-1 entries must never
 #: be deserialized into the new classes.
 CACHE_SCHEMA = 2
+
+#: Default disk-tier budget.  Entries are small pickles (a handful of KiB
+#: for a typical :class:`~repro.analysis.batch.ProgramReport`), so these
+#: bounds allow thousands of warm programs while keeping the cache
+#: directory from growing without limit under sustained service traffic.
+DEFAULT_DISK_MAX_ENTRIES = 8192
+DEFAULT_DISK_MAX_BYTES = 256 * 1024 * 1024
 
 _MISSING = object()
 
@@ -128,6 +146,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     puts: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -135,6 +154,16 @@ class CacheStats:
 
     def __str__(self) -> str:
         return f"{self.hits}/{self.lookups} hits"
+
+    def to_dict(self) -> dict:
+        """Counter snapshot for machine-readable stats (``/stats``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+        }
 
 
 class _LRU:
@@ -152,11 +181,15 @@ class _LRU:
         self._entries.move_to_end(key)
         return value
 
-    def put(self, key: str, value: Any) -> None:
+    def put(self, key: str, value: Any) -> int:
+        """Insert/refresh ``key`` and return how many entries were evicted."""
         self._entries[key] = value
         self._entries.move_to_end(key)
+        evicted = 0
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            evicted += 1
+        return evicted
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
@@ -175,6 +208,14 @@ class AnalysisCache:
     every ``put`` also writes an atomically-renamed pickle file named after
     the key, and ``get`` falls back to disk on a memory miss — that is what
     makes a *second process* running the same tables warm.
+
+    The disk tier is bounded by ``disk_max_entries`` / ``disk_max_bytes``
+    (``None`` disables either limit): after a write pushes the directory
+    over budget, the oldest-mtime entries are evicted first.  Disk *reads*
+    refresh the file's mtime, so eviction approximates LRU rather than
+    FIFO.  All memory-tier operations and counters are serialized through
+    an internal lock, so one cache instance can be shared by the asyncio
+    service loop, executor result threads and batch workers.
     """
 
     def __init__(
@@ -182,42 +223,64 @@ class AnalysisCache:
         directory: Optional[str] = None,
         memory_entries: int = 1024,
         parse_entries: int = 256,
+        disk_max_entries: Optional[int] = DEFAULT_DISK_MAX_ENTRIES,
+        disk_max_bytes: Optional[int] = DEFAULT_DISK_MAX_BYTES,
     ) -> None:
         self.directory = directory
+        self.disk_max_entries = disk_max_entries
+        self.disk_max_bytes = disk_max_bytes
+        #: ``stats.evictions`` counts the *memory* LRU; budget-driven disk
+        #: eviction has its own counter so operators can tell an undersized
+        #: memory tier from disk-budget churn.
+        self.disk_evictions = 0
         self.stats = CacheStats()
         self.parse_stats = CacheStats()
         self._memory = _LRU(memory_entries)
         self._parses = _LRU(parse_entries)
+        self._lock = threading.Lock()
+        # Running (entries, bytes) totals for the disk tier, established by
+        # one scan on the first bounded write and maintained incrementally,
+        # so budget checks are O(1) per put and the directory is only
+        # re-scanned when actually over budget.
+        self._disk_totals: Optional[Tuple[int, int]] = None
 
     # -- generic result store ----------------------------------------------
 
     def get(self, key: str, default: Any = None) -> Any:
-        value = self._memory.get(key, _MISSING)
-        if value is not _MISSING:
-            self.stats.hits += 1
-            return value
+        with self._lock:
+            value = self._memory.get(key, _MISSING)
+            if value is not _MISSING:
+                self.stats.hits += 1
+                return value
+        # Disk I/O happens outside the lock so a slow read never blocks
+        # other threads' memory-tier traffic.
         value = self._read_disk(key)
-        if value is not _MISSING:
-            self.stats.hits += 1
-            self._memory.put(key, value)
-            return value
-        self.stats.misses += 1
-        return default
+        with self._lock:
+            if value is not _MISSING:
+                self.stats.hits += 1
+                self.stats.evictions += self._memory.put(key, value)
+                return value
+            self.stats.misses += 1
+            return default
 
     def put(self, key: str, value: Any) -> None:
-        self.stats.puts += 1
-        self._memory.put(key, value)
+        with self._lock:
+            self.stats.puts += 1
+            self.stats.evictions += self._memory.put(key, value)
         self._write_disk(key, value)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._memory:
-            return True
+        with self._lock:
+            if key in self._memory:
+                return True
         return self.directory is not None and os.path.exists(self._path(key))
 
     def clear(self) -> None:
         """Drop every entry (memory and disk)."""
-        self._memory.clear()
-        self._parses.clear()
+        with self._lock:
+            self._memory.clear()
+            self._parses.clear()
+            self._disk_totals = None
         if self.directory and os.path.isdir(self.directory):
             for name in os.listdir(self.directory):
                 if name.endswith(".pkl"):
@@ -237,13 +300,15 @@ class AnalysisCache:
         ``parse_stats``, separate from the result-store ``stats``.
         """
         key = hashlib.sha256(source.encode("utf-8")).hexdigest()
-        program = self._parses.get(key, _MISSING)
-        if program is not _MISSING:
-            self.parse_stats.hits += 1
-            return program
-        self.parse_stats.misses += 1
+        with self._lock:
+            program = self._parses.get(key, _MISSING)
+            if program is not _MISSING:
+                self.parse_stats.hits += 1
+                return program
+            self.parse_stats.misses += 1
         program = parse_program(source)
-        self._parses.put(key, program)
+        with self._lock:
+            self.parse_stats.evictions += self._parses.put(key, program)
         return program
 
     # -- disk tier ----------------------------------------------------------
@@ -257,7 +322,15 @@ class AnalysisCache:
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                value = pickle.load(handle)
+            try:
+                # Touch the entry so oldest-first disk eviction behaves as
+                # LRU: a frequently *read* entry should not be the first
+                # one evicted just because it was written long ago.
+                os.utime(path)
+            except OSError:
+                pass
+            return value
         except FileNotFoundError:
             return _MISSING
         except Exception:
@@ -276,18 +349,132 @@ class AnalysisCache:
             return
         try:
             os.makedirs(self.directory, exist_ok=True)
+            path = self._path(key)
             fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(temp_path, self._path(key))
+                try:
+                    previous_size: Optional[int] = os.path.getsize(path)
+                except OSError:
+                    previous_size = None
+                os.replace(temp_path, path)
             except BaseException:
                 try:
                     os.unlink(temp_path)
                 except OSError:
                     pass
                 raise
+            self._account_disk_write(path, previous_size)
         except (OSError, pickle.PickleError):
             # Persistence is best-effort: a read-only or full disk must not
             # fail the analysis itself.
             pass
+
+    def _account_disk_write(self, path: str, previous_size: Optional[int]) -> None:
+        """Update the running totals after a write; evict only when over."""
+        if self.disk_max_entries is None and self.disk_max_bytes is None:
+            return
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        with self._lock:
+            if self._disk_totals is not None:
+                entries, total_bytes = self._disk_totals
+                if previous_size is None:
+                    entries += 1
+                total_bytes += size - (previous_size or 0)
+                self._disk_totals = (entries, total_bytes)
+                over = (
+                    self.disk_max_entries is not None and entries > self.disk_max_entries
+                ) or (
+                    self.disk_max_bytes is not None and total_bytes > self.disk_max_bytes
+                )
+                if not over:
+                    return
+        # First bounded write (totals unknown) or over budget: scan.
+        self._enforce_disk_budget()
+
+    def _disk_entries(self) -> List[Tuple[float, int, str]]:
+        """``(mtime, size, path)`` for every on-disk entry, oldest first."""
+        if not self.directory or not os.path.isdir(self.directory):
+            return []
+        entries: List[Tuple[float, int, str]] = []
+        try:
+            with os.scandir(self.directory) as scan:
+                for entry in scan:
+                    if not entry.name.endswith(".pkl"):
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size, entry.path))
+        except OSError:
+            return []
+        entries.sort()
+        return entries
+
+    def disk_usage(self) -> Tuple[int, int]:
+        """``(entries, bytes)`` currently stored in the disk tier.
+
+        Served from the running totals when available (O(1), suitable for
+        a polled ``/stats`` endpoint); falls back to one directory scan —
+        and caches its result — when no bounded write has established
+        them yet.  Best-effort under concurrent external writers, exactly
+        like the budget itself.
+        """
+        with self._lock:
+            totals = self._disk_totals
+        if totals is not None:
+            return totals
+        entries = self._disk_entries()
+        totals = (len(entries), sum(size for _mtime, size, _path in entries))
+        if self.disk_max_entries is not None or self.disk_max_bytes is not None:
+            with self._lock:
+                if self._disk_totals is None:
+                    self._disk_totals = totals
+        return totals
+
+    def _enforce_disk_budget(self) -> None:
+        """Scan the tier; if over budget, evict oldest-mtime entries.
+
+        Called on the first bounded write (to establish the running
+        totals) and whenever those totals cross a limit.  Eviction drops
+        below the limit with a little slack (1/16th of the budget, at
+        least one entry) so a workload sitting at the boundary does not
+        re-scan the directory on every subsequent write.
+        """
+        if self.disk_max_entries is None and self.disk_max_bytes is None:
+            return
+        entries = self._disk_entries()
+        total_bytes = sum(size for _mtime, size, _path in entries)
+        count = len(entries)
+        over_entries = self.disk_max_entries is not None and count > self.disk_max_entries
+        over_bytes = self.disk_max_bytes is not None and total_bytes > self.disk_max_bytes
+        entry_target = (
+            self.disk_max_entries - max(1, self.disk_max_entries // 16)
+            if over_entries
+            else None
+        )
+        byte_target = (
+            self.disk_max_bytes - max(1, self.disk_max_bytes // 16)
+            if over_bytes
+            else None
+        )
+        for _mtime, size, path in entries:
+            fits_entries = entry_target is None or count <= entry_target
+            fits_bytes = byte_target is None or total_bytes <= byte_target
+            if fits_entries and fits_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            count -= 1
+            total_bytes -= size
+            with self._lock:
+                self.disk_evictions += 1
+        with self._lock:
+            self._disk_totals = (count, total_bytes)

@@ -10,6 +10,8 @@ Usage (after ``pip install -e .`` or from a checkout)::
     python -m repro table table3                  # regenerate a paper table
     python -m repro perf --quick                  # inference micro-benchmarks
     python -m repro validate program.lnum -i x=0.5 -i y=2   # Corollary 4.20 check
+    python -m repro serve --port 7351             # long-lived analysis service
+    python -m repro query program.lnum            # query a running server
 
 The ``check`` command prints, per function, the inferred type, the rounding
 error grade, the induced relative-error bound and the inference time — the
@@ -43,9 +45,14 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Numerical Fuzz (Λnum): type-based rounding error analysis",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -97,10 +104,72 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--no-cache", action="store_true", help="disable the result cache")
     table.add_argument("--cache-dir", default=None, metavar="DIR")
 
-    subparsers.add_parser(
+    perf = subparsers.add_parser(
         "perf",
         help="micro-benchmark the inference kernel and write BENCH_inference.json",
-        add_help=False,
+    )
+    _configure_perf_parser(perf)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived analysis service (NDJSON over TCP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7351, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="inference workers (1: in-process thread; N>1: process pool)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=256,
+        help="bounded work queue; full queue sheds requests with a busy response",
+    )
+    serve.add_argument("--shards", type=int, default=8, help="memory-cache shards")
+    serve.add_argument(
+        "--shard-entries", type=int, default=512, help="LRU entries per shard"
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent disk tier"
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="disk-tier location (default $REPRO_CACHE_DIR or ~/.cache/repro-lnum)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=60.0, metavar="SECONDS",
+        help="default per-request deadline (0 disables)",
+    )
+    _add_instantiation_arguments(serve)
+
+    query = subparsers.add_parser(
+        "query", help="send programs to a running analysis server"
+    )
+    query.add_argument(
+        "paths", nargs="*",
+        help="program files ('-' for stdin); with --stats, may be empty",
+    )
+    query.add_argument("--host", default="127.0.0.1", help="server address")
+    query.add_argument("--port", type=int, default=7351, help="server port")
+    query.add_argument(
+        "--priority", choices=["interactive", "bulk"], default="interactive",
+        help="scheduling lane (default interactive)",
+    )
+    query.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request deadline (0 disables; default: the server's)",
+    )
+    query.add_argument(
+        "--no-cache", action="store_true", help="bypass the server-side result cache"
+    )
+    query.add_argument(
+        "--json", action="store_true", help="print raw JSON responses"
+    )
+    query.add_argument(
+        "--stats", action="store_true", help="also print the server's /stats payload"
+    )
+    query.add_argument(
+        "--shutdown", action="store_true", help="ask the server to exit afterwards"
     )
 
     validate = subparsers.add_parser(
@@ -119,6 +188,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_instantiation_arguments(validate)
 
     return parser
+
+
+def _configure_perf_parser(parser: argparse.ArgumentParser) -> None:
+    """The ``repro perf`` arguments.
+
+    Declared here (plain argparse, no imports) so ``build_parser`` does
+    not pay for loading the benchmark subsystem on every CLI invocation;
+    ``repro.perf.bench`` delegates to this for its standalone entry
+    point, keeping one source of truth.
+    """
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sizes for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_inference.json",
+        metavar="PATH",
+        help="where to write the JSON report (default ./BENCH_inference.json)",
+    )
+    parser.add_argument(
+        "--no-legacy",
+        action="store_true",
+        help="skip the seed reference engine (no before/after speedups)",
+    )
+    parser.add_argument(
+        "--families",
+        default=None,
+        metavar="A,B",
+        help="comma-separated inference families (default: all, see repro.perf.families)",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        metavar="N,M",
+        help="comma-separated node-count targets (default 1000,10000,100000; quick: 1000)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="compare against a checked-in report and fail on regressions",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=3.0,
+        metavar="RATIO",
+        help="failure threshold for --baseline (default 3.0x)",
+    )
 
 
 def _add_instantiation_arguments(parser: argparse.ArgumentParser) -> None:
@@ -157,7 +277,12 @@ def _parse_inputs(assignments: Sequence[str]) -> Dict[str, Fraction]:
         if "=" not in assignment:
             raise SystemExit(f"bad input assignment {assignment!r}; expected NAME=VALUE")
         name, _, value = assignment.partition("=")
-        inputs[name.strip()] = Fraction(value.strip())
+        try:
+            inputs[name.strip()] = Fraction(value.strip())
+        except (ValueError, ZeroDivisionError):
+            raise SystemExit(
+                f"bad input assignment {assignment!r}; VALUE must be an exact rational or decimal"
+            ) from None
     return inputs
 
 
@@ -232,6 +357,104 @@ def _command_table(arguments: argparse.Namespace) -> int:
     return runner.main(argv)
 
 
+def _command_perf(arguments: argparse.Namespace) -> int:
+    from .perf import bench
+
+    return bench.run(arguments)
+
+
+def _command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import AnalysisServer, AnalysisService, ServiceConfig
+
+    cache_dir = None
+    if not arguments.no_cache:
+        cache_dir = arguments.cache_dir or default_cache_directory()
+    config = ServiceConfig(
+        jobs=arguments.jobs,
+        queue_size=arguments.queue_size,
+        shards=arguments.shards,
+        shard_entries=arguments.shard_entries,
+        cache_dir=cache_dir,
+        default_deadline_seconds=arguments.deadline or None,
+        inference=_config_from_arguments(arguments),
+    )
+    server = AnalysisServer(
+        AnalysisService(config), host=arguments.host, port=arguments.port
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(f"repro serve: listening on {host}:{port} "
+              f"(jobs={config.jobs}, queue={config.queue_size}, "
+              f"cache={'disk:' + cache_dir if cache_dir else 'memory'})",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+    return 0
+
+
+def _command_query(arguments: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .analysis.batch import SOURCE_SUFFIXES
+    from .service.client import ServiceClient, ServiceError, render_report
+
+    if not arguments.paths and not (arguments.stats or arguments.shutdown):
+        raise SystemExit("repro query: give program paths and/or --stats/--shutdown")
+    # Give the socket more slack than the analysis deadline, so a long
+    # but legitimate request dies server-side (a clean timeout response)
+    # rather than as a client transport error at some unrelated cutoff.
+    timeout = 120.0
+    if arguments.deadline_ms is not None:
+        timeout = max(timeout, arguments.deadline_ms / 1000.0 + 30.0)
+    exit_code = 0
+    try:
+        with ServiceClient(
+            host=arguments.host, port=arguments.port, timeout=timeout
+        ) as client:
+            for path in arguments.paths:
+                source = _read_source(path)
+                kind = SOURCE_SUFFIXES.get(
+                    os.path.splitext(path)[1].lower(), "lnum"
+                )
+                try:
+                    response = client.analyze(
+                        source,
+                        kind=kind,
+                        name=path,
+                        priority=arguments.priority,
+                        deadline_ms=arguments.deadline_ms,
+                        no_cache=arguments.no_cache,
+                    )
+                except ServiceError as error:
+                    status = (error.response or {}).get("status", "transport")
+                    print(f"error: {path}: {status}: {error}", file=sys.stderr)
+                    exit_code = max(exit_code, 3 if status in ("busy", "timeout") else 2)
+                    continue
+                if arguments.json:
+                    print(json.dumps(response, indent=2, sort_keys=True))
+                else:
+                    print(render_report(response))
+                    print()
+                if not response["report"]["ok"]:
+                    exit_code = max(exit_code, 2)
+            if arguments.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            if arguments.shutdown:
+                client.shutdown()
+    except ServiceError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    return exit_code
+
+
 def _command_validate(arguments: argparse.Namespace) -> int:
     source = _read_source(arguments.path)
     config = _config_from_arguments(arguments)
@@ -271,13 +494,6 @@ def _command_validate(arguments: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv[:1] == ["perf"]:
-        # The perf harness owns its argument parsing (repro perf --quick ...);
-        # argparse sub-command REMAINDER handling is unreliable, so dispatch
-        # before the main parser sees the flags.
-        from .perf import bench
-
-        return bench.main(argv[1:])
     parser = build_parser()
     arguments = parser.parse_args(argv)
     handlers = {
@@ -285,6 +501,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fpcore": _command_fpcore,
         "batch": _command_batch,
         "table": _command_table,
+        "perf": _command_perf,
+        "serve": _command_serve,
+        "query": _command_query,
         "validate": _command_validate,
     }
     try:
@@ -292,7 +511,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except LnumError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    except FileNotFoundError as error:
+    except BrokenPipeError:
+        # A downstream consumer (head, a pager) closed our stdout: normal
+        # truncation, not a failure.  Point stdout at /dev/null so the
+        # interpreter's exit-time flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except OSError as error:
+        # Unreadable/missing source files, sockets torn down mid-write, ...
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -23,6 +23,7 @@ only produced by the floating-point semantics.
 from __future__ import annotations
 
 import itertools
+import threading
 import weakref
 from fractions import Fraction
 from typing import Dict, Iterator, Optional, Set, Tuple, Union
@@ -546,6 +547,10 @@ _INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Term]" = weakref.WeakValueDic
 #: them safe memo keys even after a node is garbage collected.
 _INTERN_IDS = itertools.count(1)
 
+#: Serializes the per-node check-then-insert in :func:`intern_term` so that
+#: threads never mint two canonical representatives for one structure.
+_INTERN_LOCK = threading.Lock()
+
 
 def is_interned(term: Term) -> bool:
     """Is ``term`` a canonical (hash-consed) representative?"""
@@ -596,18 +601,23 @@ def intern_term(term: Term) -> Term:
                 key.append(value)
             values.append(value)
         key = tuple(key)
-        existing = _INTERN_TABLE.get(key)
-        if existing is not None:
-            canonical_of[node_ref] = existing
-            continue
-        if changed:
-            canonical = cls.__new__(cls)
-            for slot, value in zip(cls.__slots__, values):
-                setattr(canonical, slot, value)
-        else:
-            canonical = node
-        canonical._intern_id = next(_INTERN_IDS)
-        _INTERN_TABLE[key] = canonical
+        # Atomic check-then-insert per node: concurrent interning threads
+        # (the service event loop fingerprinting a request while a worker
+        # unpickles a report) must agree on one canonical representative,
+        # or identity-based structural equality silently breaks.
+        with _INTERN_LOCK:
+            existing = _INTERN_TABLE.get(key)
+            if existing is not None:
+                canonical_of[node_ref] = existing
+                continue
+            if changed:
+                canonical = cls.__new__(cls)
+                for slot, value in zip(cls.__slots__, values):
+                    setattr(canonical, slot, value)
+            else:
+                canonical = node
+            canonical._intern_id = next(_INTERN_IDS)
+            _INTERN_TABLE[key] = canonical
         canonical_of[node_ref] = canonical
     return canonical_of[id(term)]
 

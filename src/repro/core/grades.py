@@ -28,6 +28,7 @@ dictionary-identity speed during inference on very large terms (Table 4).
 
 from __future__ import annotations
 
+import threading
 import weakref
 from fractions import Fraction
 from functools import lru_cache
@@ -119,6 +120,13 @@ DEFAULT_REGISTRY = SymbolRegistry({EPS_SYMBOL: _BINARY64_DIRECTED_EPS})
 #: module constants below hold the ubiquitous ones strongly.
 _INTERN: "weakref.WeakValueDictionary[tuple, Grade]" = weakref.WeakValueDictionary()
 
+#: Interning must be atomic across threads: a check-then-insert race would
+#: create two live instances of the same polynomial, silently breaking the
+#: identity-based ``__eq__``.  Threads meet here in the ``repro serve``
+#: process (the asyncio loop fingerprints requests while a worker thread
+#: infers and the process-pool result thread unpickles reports).
+_INTERN_LOCK = threading.Lock()
+
 
 def _restore_grade(infinite: bool, items: tuple) -> "Grade":
     """Unpickling hook: rebuild through the interning constructor."""
@@ -160,16 +168,17 @@ class Grade:
                 else:
                     cleaned[key] = frac
         intern_key = (bool(infinite), tuple(sorted(cleaned.items())))
-        existing = _INTERN.get(intern_key)
-        if existing is not None:
-            return existing
-        self = object.__new__(cls)
-        self._terms = cleaned
-        self._infinite = bool(infinite)
-        self._hash = hash(intern_key)
-        self._eval_cache = None
-        _INTERN[intern_key] = self
-        return self
+        with _INTERN_LOCK:
+            existing = _INTERN.get(intern_key)
+            if existing is not None:
+                return existing
+            self = object.__new__(cls)
+            self._terms = cleaned
+            self._infinite = bool(infinite)
+            self._hash = hash(intern_key)
+            self._eval_cache = None
+            _INTERN[intern_key] = self
+            return self
 
     def __reduce__(self):
         # Route unpickling through the interning constructor so a grade

@@ -39,6 +39,9 @@ from .reference import NaiveContext, call_with_deep_stack, reference_infer
 __all__ = [
     "BENCH_FILENAME",
     "REPORT_SCHEMA",
+    "configure_parser",
+    "run",
+    "main",
     "run_suite",
     "write_report",
     "load_report",
@@ -428,55 +431,21 @@ def render_report(report: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    import argparse
+def configure_parser(parser) -> None:
+    """Attach the ``repro perf`` arguments to ``parser``.
 
-    parser = argparse.ArgumentParser(
-        prog="repro perf", description="Inference-kernel micro-benchmarks"
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="small sizes for CI smoke runs (seconds, not minutes)",
-    )
-    parser.add_argument(
-        "--out",
-        default=BENCH_FILENAME,
-        metavar="PATH",
-        help=f"where to write the JSON report (default ./{BENCH_FILENAME})",
-    )
-    parser.add_argument(
-        "--no-legacy",
-        action="store_true",
-        help="skip the seed reference engine (no before/after speedups)",
-    )
-    parser.add_argument(
-        "--families",
-        default=None,
-        metavar="A,B",
-        help=f"comma-separated inference families (default all: {','.join(FAMILIES)})",
-    )
-    parser.add_argument(
-        "--sizes",
-        default=None,
-        metavar="N,M",
-        help="comma-separated node-count targets (default 1000,10000,100000; quick: 1000)",
-    )
-    parser.add_argument(
-        "--baseline",
-        default=None,
-        metavar="PATH",
-        help="compare against a checked-in report and fail on regressions",
-    )
-    parser.add_argument(
-        "--max-regression",
-        type=float,
-        default=3.0,
-        metavar="RATIO",
-        help="failure threshold for --baseline (default 3.0x)",
-    )
-    arguments = parser.parse_args(argv)
+    The declarations live in :func:`repro.cli._configure_perf_parser`
+    (plain argparse, no benchmark imports) so mounting the sub-command
+    never loads this module; this wrapper keeps the harness usable
+    standalone.
+    """
+    from ..cli import _configure_perf_parser
 
+    _configure_perf_parser(parser)
+
+
+def run(arguments) -> int:
+    """Execute a parsed ``repro perf`` invocation."""
     families = arguments.families.split(",") if arguments.families else None
     sizes = (
         [int(size) for size in arguments.sizes.split(",")] if arguments.sizes else None
@@ -504,3 +473,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         print("perf gate passed")
     return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro perf", description="Inference-kernel micro-benchmarks"
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,380 @@
+"""Closed-loop load generator for the ``repro serve`` analysis service.
+
+Measures what the service layer actually buys: a long-lived process that
+has already paid import/parse/cache-warmup costs, serving queries at
+memory-cache speed, versus the one-shot CLI loop that re-pays all of it
+per program.  The harness:
+
+1. starts an in-process server (its own event loop in a daemon thread,
+   ephemeral port) backed by a fresh, memory-only cache farm;
+2. warms it with one pass over the benchmark programs (the paper
+   examples of :mod:`repro.benchsuite.paper_examples` plus the bundled
+   ``examples/programs``);
+3. for each concurrency level (default 1/8/64) runs *closed-loop*
+   clients — every client thread owns one connection and issues its next
+   request as soon as the previous response arrives — for a fixed wall
+   window, recording per-request latency;
+4. times the cold baseline: ``python -m repro check <file>`` subprocess
+   invocations, one fresh interpreter per program, exactly like a shell
+   loop over the corpus;
+5. writes ``BENCH_service.json`` (repo root by convention) with
+   throughput and p50/p99 latency per level plus the warm-vs-cold
+   speedup.
+
+Run it from a checkout::
+
+    PYTHONPATH=src python -m repro.perf.service_bench --quick
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..service import AnalysisServer, AnalysisService, ServiceConfig
+from ..service.client import ServiceClient
+
+__all__ = [
+    "SERVICE_BENCH_FILENAME",
+    "SERVICE_REPORT_SCHEMA",
+    "bench_sources",
+    "run_service_levels",
+    "measure_cold_cli",
+    "main",
+]
+
+SERVICE_BENCH_FILENAME = "BENCH_service.json"
+SERVICE_REPORT_SCHEMA = 1
+
+DEFAULT_CLIENT_LEVELS: Tuple[int, ...] = (1, 8, 64)
+DEFAULT_WINDOW_SECONDS = 2.0
+
+
+def bench_sources() -> List[Tuple[str, str, str]]:
+    """``(name, kind, source)`` for the benchmark corpus.
+
+    Paper examples first (they are what Tables 3–5 run), then the bundled
+    example programs; FPCore inputs keep their kind so the server
+    exercises both frontends.
+    """
+    from ..benchsuite.paper_examples import PAPER_EXAMPLES
+
+    corpus: List[Tuple[str, str, str]] = []
+    for name, example in sorted(PAPER_EXAMPLES.items()):
+        corpus.append((f"paper:{name}", "lnum", example.source))
+    examples_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__)))),
+        "examples",
+        "programs",
+    )
+    if os.path.isdir(examples_dir):
+        from ..analysis.batch import SOURCE_SUFFIXES
+
+        for filename in sorted(os.listdir(examples_dir)):
+            kind = SOURCE_SUFFIXES.get(os.path.splitext(filename)[1].lower())
+            if kind is None:
+                continue
+            path = os.path.join(examples_dir, filename)
+            with open(path, "r", encoding="utf-8") as handle:
+                corpus.append((f"examples:{filename}", kind, handle.read()))
+    return corpus
+
+
+# ---------------------------------------------------------------------------
+# Server-in-a-thread harness
+# ---------------------------------------------------------------------------
+
+
+class _ServerHarness:
+    """An :class:`AnalysisServer` on its own event loop in a daemon thread."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        import asyncio
+
+        async def serve() -> None:
+            server = AnalysisServer(AnalysisService(self.config), port=0)
+            _host, self.port = await server.start()
+            self._ready.set()
+            await server.serve_forever()
+
+        asyncio.run(serve())
+
+    def __enter__(self) -> "_ServerHarness":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("service did not come up within 30 s")
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        try:
+            ServiceClient(port=self.port, timeout=5).shutdown()
+        except Exception:
+            pass
+        self._thread.join(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _client_loop(
+    port: int,
+    corpus: Sequence[Tuple[str, str, str]],
+    offset: int,
+    stop_at: float,
+    latencies: List[float],
+    errors: List[str],
+) -> None:
+    try:
+        with ServiceClient(port=port) as client:
+            index = offset
+            while time.perf_counter() < stop_at:
+                name, kind, source = corpus[index % len(corpus)]
+                index += 1
+                start = time.perf_counter()
+                client.analyze(source, kind=kind, name=name)
+                latencies.append(time.perf_counter() - start)
+    except Exception as error:  # surface, don't hang the level
+        errors.append(str(error))
+
+
+def run_service_levels(
+    port: int,
+    corpus: Sequence[Tuple[str, str, str]],
+    levels: Sequence[int],
+    window_seconds: float,
+    progress=None,
+) -> List[Dict[str, Any]]:
+    """Closed-loop throughput/latency at each concurrency level."""
+    results: List[Dict[str, Any]] = []
+    for clients in levels:
+        per_thread: List[List[float]] = [[] for _ in range(clients)]
+        errors: List[str] = []
+        stop_at = time.perf_counter() + window_seconds
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=_client_loop,
+                args=(port, corpus, index, stop_at, per_thread[index], errors),
+            )
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise RuntimeError(f"client errors at level {clients}: {errors[:3]}")
+        latencies = sorted(
+            latency for bucket in per_thread for latency in bucket
+        )
+        requests = len(latencies)
+        level = {
+            "clients": clients,
+            "requests": requests,
+            "wall_seconds": elapsed,
+            "throughput_rps": requests / elapsed if elapsed else 0.0,
+            "latency_ms": {
+                "p50": _percentile(latencies, 0.50) * 1000.0,
+                "p99": _percentile(latencies, 0.99) * 1000.0,
+                "mean": (statistics.fmean(latencies) * 1000.0) if latencies else 0.0,
+                "max": (latencies[-1] * 1000.0) if latencies else 0.0,
+            },
+        }
+        results.append(level)
+        if progress:
+            progress(
+                f"  {clients:>3} client(s): {level['throughput_rps']:,.0f} req/s, "
+                f"p50 {level['latency_ms']['p50']:.2f} ms, "
+                f"p99 {level['latency_ms']['p99']:.2f} ms"
+            )
+    return results
+
+
+def measure_cold_cli(
+    corpus: Sequence[Tuple[str, str, str]],
+    iterations: int,
+    progress=None,
+) -> Dict[str, Any]:
+    """Time one-shot ``python -m repro check|fpcore`` subprocesses.
+
+    Every invocation pays interpreter start, package import, parse and
+    inference — the pre-service cost of answering one query from a shell.
+    """
+    source_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = source_root + os.pathsep + environment.get("PYTHONPATH", "")
+    timings: List[float] = []
+    with tempfile.TemporaryDirectory(prefix="repro-cold-") as workdir:
+        files: List[Tuple[str, str]] = []
+        for index, (name, kind, source) in enumerate(corpus):
+            suffix = ".fpcore" if kind == "fpcore" else ".lnum"
+            path = os.path.join(workdir, f"prog{index}{suffix}")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(source)
+            files.append((kind, path))
+        for round_index in range(max(1, iterations)):
+            for kind, path in files:
+                verb = "fpcore" if kind == "fpcore" else "check"
+                start = time.perf_counter()
+                completed = subprocess.run(
+                    [sys.executable, "-m", "repro", verb, path],
+                    env=environment,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+                elapsed = time.perf_counter() - start
+                if completed.returncode not in (0, 1):
+                    raise RuntimeError(
+                        f"cold run failed ({completed.returncode}) for {path}"
+                    )
+                timings.append(elapsed)
+            if progress:
+                progress(f"  cold round {round_index + 1}/{iterations} done")
+    seconds_per_request = statistics.fmean(timings)
+    return {
+        "iterations": len(timings),
+        "seconds_per_request": seconds_per_request,
+        "throughput_rps": 1.0 / seconds_per_request if seconds_per_request else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.service_bench",
+        description="Closed-loop load generator for the repro analysis service",
+    )
+    parser.add_argument(
+        "--clients", default=None, metavar="1,8,64",
+        help="comma-separated concurrency levels (default 1,8,64)",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=DEFAULT_WINDOW_SECONDS,
+        help="measurement window per level (default 2.0)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="server inference workers"
+    )
+    parser.add_argument(
+        "--cold-iters", type=int, default=2,
+        help="rounds over the corpus for the cold one-shot baseline",
+    )
+    parser.add_argument(
+        "--skip-cold", action="store_true", help="skip the subprocess baseline"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short windows + 1,8 clients + 1 cold round (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default=SERVICE_BENCH_FILENAME, metavar="PATH",
+        help=f"report destination (default ./{SERVICE_BENCH_FILENAME})",
+    )
+    arguments = parser.parse_args(argv)
+
+    levels = (
+        tuple(int(level) for level in arguments.clients.split(","))
+        if arguments.clients
+        else ((1, 8) if arguments.quick else DEFAULT_CLIENT_LEVELS)
+    )
+    window = 0.5 if arguments.quick and arguments.seconds == DEFAULT_WINDOW_SECONDS else arguments.seconds
+    cold_iterations = 1 if arguments.quick else arguments.cold_iters
+
+    progress = lambda line: print(line, file=sys.stderr, flush=True)  # noqa: E731
+    corpus = bench_sources()
+    progress(f"corpus: {len(corpus)} program(s)")
+
+    config = ServiceConfig(jobs=arguments.jobs, queue_size=max(512, 8 * max(levels)))
+    with _ServerHarness(config) as harness:
+        progress(f"server up on port {harness.port}; warming cache ...")
+        with ServiceClient(port=harness.port) as client:
+            ok = 0
+            for name, kind, source in corpus:
+                response = client.analyze(source, kind=kind, name=name)
+                ok += bool(response["report"]["ok"])
+            warm_stats = client.stats()
+        progress(f"warm: {ok}/{len(corpus)} analyses ok")
+        progress(f"closed-loop service levels ({window:g} s windows):")
+        service_levels = run_service_levels(
+            harness.port, corpus, levels, window, progress=progress
+        )
+        with ServiceClient(port=harness.port) as client:
+            final_stats = client.stats()
+
+    cold: Optional[Dict[str, Any]] = None
+    if not arguments.skip_cold:
+        progress("cold one-shot CLI baseline:")
+        cold = measure_cold_cli(corpus, cold_iterations, progress=progress)
+        progress(
+            f"  {cold['seconds_per_request'] * 1000.0:.0f} ms/request "
+            f"({cold['throughput_rps']:.2f} req/s)"
+        )
+
+    best_throughput = max(level["throughput_rps"] for level in service_levels)
+    report: Dict[str, Any] = {
+        "schema": SERVICE_REPORT_SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "corpus": [name for name, _kind, _source in corpus],
+        "server": {
+            "jobs": config.jobs,
+            "queue_size": config.queue_size,
+            "shards": config.shards,
+            "warm_inferences": warm_stats["service"]["inferences"],
+        },
+        "service_levels": service_levels,
+        "cache": {
+            "hits": final_stats["cache"]["hits"],
+            "misses": final_stats["cache"]["misses"],
+            "inferences": final_stats["service"]["inferences"],
+        },
+    }
+    if cold is not None:
+        report["cold_cli"] = cold
+        report["warm_vs_cold_speedup"] = (
+            best_throughput / cold["throughput_rps"] if cold["throughput_rps"] else None
+        )
+        progress(
+            f"warm service is {report['warm_vs_cold_speedup']:.0f}x the cold CLI loop"
+        )
+
+    with open(arguments.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {arguments.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""The ``repro serve`` analysis service.
+
+A long-lived asyncio front-end over the analysis pipeline: one process
+imports the toolchain once, keeps every cache tier warm, and serves
+analysis requests over a newline-delimited-JSON TCP protocol.  The
+request lifecycle is::
+
+    admit → coalesce → schedule → infer → cache
+
+* :mod:`repro.service.server` — the :class:`AnalysisService` core
+  (request normalization, in-flight coalescing, response shaping) and the
+  :class:`AnalysisServer` TCP front-end;
+* :mod:`repro.service.scheduler` — the bounded priority queue feeding the
+  reusable :class:`repro.analysis.batch.PoolHandle`, with deadlines and
+  load shedding;
+* :mod:`repro.service.cachefarm` — the sharded in-memory result cache
+  layered over the bounded disk cache;
+* :mod:`repro.service.client` — the blocking client library behind
+  ``repro query``.
+
+See the "Service layer" section of ``docs/architecture.md`` for the
+data-flow diagram and ``repro.perf.service_bench`` for the load
+generator that produces ``BENCH_service.json``.
+"""
+
+from .cachefarm import CacheFarm
+from .client import DEFAULT_PORT, ServiceClient, ServiceError
+from .scheduler import (
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
+    DeadlineExceeded,
+    Scheduler,
+    SchedulerBusy,
+)
+from .server import AnalysisServer, AnalysisService, ServiceConfig
+
+__all__ = [
+    "AnalysisServer",
+    "AnalysisService",
+    "CacheFarm",
+    "DEFAULT_PORT",
+    "DeadlineExceeded",
+    "PRIORITY_BULK",
+    "PRIORITY_INTERACTIVE",
+    "Scheduler",
+    "SchedulerBusy",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+]

@@ -1,0 +1,159 @@
+"""N-way sharded in-memory result cache for the analysis service.
+
+The service's hot path is a key lookup per request, performed on the
+asyncio event loop.  A single big LRU would work, but sharding buys two
+things: eviction scans and lock windows stay small per shard, and the
+per-shard hit/miss/eviction counters exposed through ``/stats`` show
+*where* the working set lives (a skewed workload fills one shard first).
+
+The farm is layered over the bounded disk tier of
+:class:`repro.analysis.cache.AnalysisCache`: a memory miss falls through
+to the disk cache (counted separately as ``disk_hits``), promotes the
+value into its shard, and a put writes through to disk so a restarted
+server starts warm.  Keys are the content digests of
+:mod:`repro.analysis.cache` — hex SHA-256 strings — so the shard index is
+just the first few hex digits reduced mod the shard count, which is
+uniform by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..analysis.cache import AnalysisCache, CacheStats, _LRU
+
+__all__ = ["CacheFarm", "DEFAULT_SHARDS", "DEFAULT_SHARD_ENTRIES"]
+
+DEFAULT_SHARDS = 8
+DEFAULT_SHARD_ENTRIES = 512
+
+_MISS = object()
+
+
+class _Shard:
+    """One LRU slice plus its counters, guarded by its own lock."""
+
+    def __init__(self, entries: int) -> None:
+        self.lru = _LRU(entries)
+        self.stats = CacheStats()
+        self.lock = threading.Lock()
+
+    def get(self, key: str) -> Any:
+        with self.lock:
+            value = self.lru.get(key, _MISS)
+            if value is _MISS:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: Any) -> None:
+        with self.lock:
+            self.stats.puts += 1
+            self.stats.evictions += self.lru.put(key, value)
+
+
+class CacheFarm:
+    """Sharded memory cache with write-through to an optional disk tier."""
+
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARDS,
+        entries_per_shard: int = DEFAULT_SHARD_ENTRIES,
+        disk: Optional[AnalysisCache] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a cache farm needs at least one shard")
+        self.disk = disk
+        self.disk_hits = 0
+        # Farm-global counters mutate from executor threads too.
+        self._stats_lock = threading.Lock()
+        self._shards: List[_Shard] = [_Shard(entries_per_shard) for _ in range(shards)]
+
+    def _shard(self, key: str) -> _Shard:
+        # Keys are hex digests; the leading 8 digits are uniformly
+        # distributed, so reducing them mod the shard count balances load.
+        return self._shards[int(key[:8], 16) % len(self._shards)]
+
+    def peek(self, key: str, default: Any = None, count: bool = True) -> Any:
+        """Memory-tier-only probe — never touches the disk tier.
+
+        A *hit* is counted; a miss is not (the caller is expected to
+        follow up with :meth:`get`, typically off the event loop, which
+        records the miss), so the counters see each logical lookup once.
+        ``count=False`` suppresses even the hit — for a re-check of a
+        lookup whose miss was already recorded by the full probe.
+        """
+        shard = self._shard(key)
+        with shard.lock:
+            value = shard.lru.get(key, _MISS)
+            if value is _MISS:
+                return default
+            if count:
+                shard.stats.hits += 1
+            return value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        shard = self._shard(key)
+        value = shard.get(key)
+        if value is not _MISS:
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key, _MISS)
+            if value is not _MISS:
+                with self._stats_lock:
+                    self.disk_hits += 1
+                shard.put(key, value)
+                return value
+        return default
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key, _MISS) is not _MISS
+
+    def put(self, key: str, value: Any, write_disk: bool = True) -> None:
+        self._shard(key).put(key, value)
+        if write_disk and self.disk is not None:
+            self.disk.put(key, value)
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            with shard.lock:
+                shard.lru.clear()
+        if self.disk is not None:
+            self.disk.clear()
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def entries(self) -> int:
+        return sum(len(shard.lru) for shard in self._shards)
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate + per-shard counters, the ``cache`` block of ``/stats``."""
+        totals = CacheStats()
+        per_shard = []
+        for shard in self._shards:
+            with shard.lock:
+                totals.hits += shard.stats.hits
+                totals.misses += shard.stats.misses
+                totals.puts += shard.stats.puts
+                totals.evictions += shard.stats.evictions
+                per_shard.append({"entries": len(shard.lru), **shard.stats.to_dict()})
+        report: Dict[str, Any] = {
+            "shards": len(self._shards),
+            "entries": sum(block["entries"] for block in per_shard),
+            **totals.to_dict(),
+            "disk_hits": self.disk_hits,
+            "per_shard": per_shard,
+        }
+        if self.disk is not None:
+            disk_entries, disk_bytes = self.disk.disk_usage()
+            report["disk"] = {
+                **self.disk.stats.to_dict(),
+                # Budget-driven disk eviction, not the memory-LRU figure.
+                "evictions": self.disk.disk_evictions,
+                "entries": disk_entries,
+                "bytes": disk_bytes,
+            }
+        return report

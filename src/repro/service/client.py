@@ -1,0 +1,207 @@
+"""Blocking client library for the ``repro serve`` analysis service.
+
+The server speaks newline-delimited JSON over TCP, so the client is a
+socket, a buffered file object, and ``json`` — no third-party
+dependencies, usable from scripts, tests and the ``repro query`` CLI
+verb alike::
+
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(port=7351) as client:
+        response = client.analyze(open("prog.lnum").read())
+        print(response["report"]["functions"][0]["relative_error_bound"])
+        print(client.stats()["service"]["coalesced"])
+
+One client holds one connection and pipelines requests sequentially on
+it; concurrency comes from using one client per thread (see
+``repro.perf.service_bench`` for the closed-loop load generator built
+that way).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ServiceClient", "ServiceError", "render_report"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7351
+
+
+class ServiceError(Exception):
+    """A transport failure or an error/busy/timeout response.
+
+    ``response`` carries the decoded server response when one was
+    received (``status``, ``code``, ...), or ``None`` for pure transport
+    failures.
+    """
+
+    def __init__(self, message: str, response: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.response = response
+
+
+class ServiceClient:
+    """A blocking newline-delimited-JSON client for one server."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._socket: Optional[socket.socket] = None
+        self._reader = None
+        self._writer = None
+
+    # -- connection management ----------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._socket is None:
+            try:
+                self._socket = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as error:
+                raise ServiceError(
+                    f"cannot connect to {self.host}:{self.port}: {error}"
+                ) from error
+            self._reader = self._socket.makefile("rb")
+            self._writer = self._socket.makefile("wb")
+        return self
+
+    def close(self) -> None:
+        for stream in (self._reader, self._writer):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:
+                pass
+        self._socket = self._reader = self._writer = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- the protocol --------------------------------------------------------
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return the decoded response object."""
+        self.connect()
+        try:
+            self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            self._writer.flush()
+            line = self._reader.readline()
+        except OSError as error:
+            self.close()
+            raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}") from error
+        if not line:
+            self.close()
+            raise ServiceError("server closed the connection")
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ServiceError(f"malformed response: {error}") from error
+
+    def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        response = self.request(payload)
+        status = response.get("status")
+        if status != "ok":
+            raise ServiceError(
+                f"server replied {status!r}"
+                + (f": {response['error']}" if "error" in response else ""),
+                response=response,
+            )
+        return response
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self._checked({"op": "ping"}).get("status") == "ok"
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``/stats`` payload (service/cache/scheduler counters)."""
+        return self._checked({"op": "stats"})["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop accepting and exit its serve loop."""
+        try:
+            self.request({"op": "shutdown"})
+        finally:
+            self.close()
+
+    def analyze(
+        self,
+        source: str,
+        kind: str = "lnum",
+        name: Optional[str] = None,
+        priority: str = "interactive",
+        deadline_ms: Optional[float] = None,
+        no_cache: bool = False,
+    ) -> Dict[str, Any]:
+        """Analyse one program source; returns the full ``ok`` response.
+
+        The response's ``report`` is a
+        :meth:`repro.analysis.batch.ProgramReport.to_dict` dictionary;
+        ``cached`` / ``coalesced`` tell how the request was served.
+        Raises :class:`ServiceError` (with ``response`` attached) on
+        busy/timeout/error responses.
+        """
+        payload: Dict[str, Any] = {
+            "op": "analyze",
+            "source": source,
+            "kind": kind,
+            "priority": priority,
+        }
+        if name:
+            payload["name"] = name
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if no_cache:
+            payload["no_cache"] = True
+        return self._checked(payload)
+
+
+def render_report(response: Dict[str, Any]) -> str:
+    """Human-readable rendering of one analyze response (``repro query``).
+
+    Mirrors the per-function layout of ``repro check`` closely enough to
+    eyeball, from the JSON dictionary alone (the client must not need the
+    analysis classes to print a result).
+    """
+    report = response.get("report", {})
+    lines: List[str] = []
+    served = "cached" if response.get("cached") else (
+        "coalesced" if response.get("coalesced") else "inferred"
+    )
+    lines.append(f"== {report.get('name', '<request>')} ({report.get('kind')}) [{served}]")
+    if not report.get("ok", False):
+        lines.append(f"  error: {report.get('error')}")
+        return "\n".join(lines)
+    for function in report.get("functions", []):
+        lines.append(f"{function['name']}: {function['type']}")
+        if function.get("error_grade") is not None:
+            lines.append(f"  RP error grade : {function['error_grade']}")
+        if function.get("relative_error_bound") is not None:
+            lines.append(
+                f"  relative error : {function['relative_error_bound']:.3e}"
+            )
+        if function.get("annotation") is not None:
+            lines.append(
+                f"  annotation     : {function['annotation']} "
+                f"({'satisfied' if function.get('annotation_satisfied') else 'VIOLATED'})"
+            )
+    lines.append(f"  served in {response.get('seconds', 0.0) * 1000.0:.1f} ms")
+    return "\n".join(lines)

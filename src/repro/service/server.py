@@ -1,0 +1,560 @@
+"""The analysis service core and its asyncio TCP front-end.
+
+:class:`AnalysisService` is protocol-independent: it takes request
+dictionaries and returns response dictionaries, which makes the whole
+admit → coalesce → schedule → infer → cache pipeline unit-testable
+without sockets.  :class:`AnalysisServer` wraps it in a
+newline-delimited-JSON TCP listener (one JSON object per line in each
+direction — trivially framed, stdlib-only, and pipelinable).
+
+Request normalization and coalescing
+------------------------------------
+
+Every ``analyze`` request is normalized to a *content-addressed key*
+before anything else happens: Λnum sources are parsed (through the
+shared parse memo) and keyed by the hash-consed term fingerprints of
+their definitions via :func:`repro.analysis.cache.term_key` /
+:func:`~repro.analysis.cache.make_key`, so two requests that differ only
+in whitespace or comments are the *same* request; sources that fail to
+parse (and FPCore inputs, whose surface syntax is already canonical
+s-expressions) fall back to :func:`~repro.analysis.cache.source_key`.
+
+The key then drives a three-way admission split:
+
+1. **cache hit** — answered immediately from the
+   :class:`~repro.service.cachefarm.CacheFarm`;
+2. **in-flight duplicate** — some earlier request with the same key is
+   already scheduled: the new request *coalesces* onto the same future
+   and no second inference is ever queued (N concurrent queries for one
+   program cost exactly one inference);
+3. **miss** — a :class:`~repro.service.scheduler.Job` is submitted to
+   the bounded scheduler (which may shed it with a ``busy`` response).
+
+Wire protocol
+-------------
+
+Requests:  ``{"op": "analyze", "source": "...", "kind": "lnum",
+"priority": "interactive", "deadline_ms": 30000, "no_cache": false}``,
+``{"op": "stats"}``, ``{"op": "ping"}``, ``{"op": "shutdown"}``.
+
+Responses always carry ``status``: ``ok`` (with ``report`` for analyze),
+``busy`` (queue full, code 429), ``timeout`` (deadline exceeded, code
+504) or ``error`` (malformed request, code 400).  The ``stats`` response
+is the ``/stats`` endpoint of the issue: service counters (requests,
+coalesced, inferences), cache farm shard counters, and scheduler lane /
+shed counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..analysis.batch import BatchItem, PoolHandle
+from ..analysis.cache import AnalysisCache, config_key, make_key, source_key, term_key
+from ..core import ast as A
+from ..core.errors import LnumError
+from ..core.inference import InferenceConfig
+from .cachefarm import CacheFarm, DEFAULT_SHARD_ENTRIES, DEFAULT_SHARDS
+from .scheduler import (
+    PRIORITY_NAMES,
+    DeadlineExceeded,
+    Job,
+    Scheduler,
+    SchedulerBusy,
+)
+
+__all__ = ["AnalysisServer", "AnalysisService", "ServiceConfig"]
+
+#: Longest accepted request line (sources are inlined in the JSON).
+MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+
+def _consume_result(future: "asyncio.Future") -> None:
+    """Swallow a fire-and-forget future's outcome (best-effort persist)."""
+    try:
+        future.exception()
+    except BaseException:
+        pass
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one service instance."""
+
+    jobs: int = 1
+    queue_size: int = 256
+    shards: int = DEFAULT_SHARDS
+    shard_entries: int = DEFAULT_SHARD_ENTRIES
+    cache_dir: Optional[str] = None  # None: memory-only (no disk tier)
+    default_deadline_seconds: Optional[float] = 60.0
+    inference: Optional[InferenceConfig] = None
+
+
+class AnalysisService:
+    """Protocol-independent request handling: admit, coalesce, schedule."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        # The disk-backed AnalysisCache doubles as the parse memo; with no
+        # cache_dir it still provides (memory-only) parse memoization, it
+        # just isn't attached to the farm as a persistence tier.  Its own
+        # result-memory LRU is kept tiny: the CacheFarm shards are the
+        # memory tier here, and the default 1024 entries would hold every
+        # report in RAM a second time.
+        self._analysis_cache = AnalysisCache(
+            directory=self.config.cache_dir, memory_entries=8
+        )
+        self.farm = CacheFarm(
+            shards=self.config.shards,
+            entries_per_shard=self.config.shard_entries,
+            disk=self._analysis_cache if self.config.cache_dir else None,
+        )
+        self.pool = PoolHandle(self.config.jobs)
+        self.scheduler = Scheduler(
+            pool=self.pool,
+            queue_size=self.config.queue_size,
+            parse_cache=self._analysis_cache,
+        )
+        self._inflight: Dict[str, Job] = {}
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "analyze_requests": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "scheduled": 0,
+            "inferences": 0,
+            "busy": 0,
+            "timeouts": 0,
+            "errors": 0,
+        }
+        self.started_at = time.monotonic()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.scheduler.start()
+
+    async def stop(self) -> None:
+        await self.scheduler.stop(close_pool=True)
+
+    # -- request normalization ----------------------------------------------
+
+    def request_key(self, source: str, kind: str) -> str:
+        """Content-addressed key for one analyze request.
+
+        Λnum sources are keyed by the hash-consed structure of their
+        definitions — the same normalization the batch/benchmark path uses
+        through :func:`~repro.analysis.cache.term_key` — so formatting
+        changes coalesce onto one key.  Unparseable sources key on their
+        text; their (failed) reports are cached all the same.
+        """
+        config = self.config.inference
+        if kind == "lnum":
+            try:
+                program = self._analysis_cache.cached_parse(source)
+                if not program.definitions and program.main is None:
+                    # Nothing to fingerprint (comment-only/empty source):
+                    # a structural key would collapse all such programs
+                    # onto one constant, so key on the text instead.
+                    return source_key(source, kind, config)
+                parts = []
+                for definition in program.definitions:
+                    term = A.intern_term(definition.term)
+                    # The declared error-bound annotation is *not* part of
+                    # the lambda term, but it changes the report
+                    # (annotation_satisfied), so it must be in the key.
+                    parts.append(
+                        f"{definition.name}:{definition.return_annotation}"
+                        f"={A.term_fingerprint(term)}"
+                    )
+                if program.main is not None:
+                    main = A.intern_term(program.main)
+                    if not program.definitions:
+                        return term_key(main, config, "service")
+                    parts.append(f"<main>={A.term_fingerprint(main)}")
+                return make_key("service", config_key(config), *parts)
+            except (LnumError, RecursionError):
+                # Unparseable (or adversarially deep) sources key on their
+                # text; the analysis worker reports the actual failure.
+                pass
+        return source_key(source, kind, config)
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def handle(self, request: Any) -> Dict[str, Any]:
+        """One request dictionary in, one response dictionary out.
+
+        Never raises (barring cancellation): any unexpected failure —
+        say a ``RecursionError`` from an adversarially deep source in the
+        parser — becomes a 500-style error response instead of killing
+        the caller's connection.
+        """
+        self.counters["requests"] += 1
+        try:
+            return await self._dispatch(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            return self._error(
+                f"internal error: {type(error).__name__}: {error}", code=500
+            )
+
+    async def _dispatch(self, request: Any) -> Dict[str, Any]:
+        if not isinstance(request, dict):
+            return self._error("request must be a JSON object")
+        op = request.get("op", "analyze")
+        if op == "ping":
+            return {"status": "ok", "op": "ping"}
+        if op == "stats":
+            # disk_usage() scans the cache directory — off the loop.
+            stats = await asyncio.get_running_loop().run_in_executor(None, self.stats)
+            return {"status": "ok", "op": "stats", "stats": stats}
+        if op == "shutdown":
+            return {"status": "ok", "op": "shutdown"}
+        if op == "analyze":
+            return await self._handle_analyze(request)
+        return self._error(f"unknown op {op!r}")
+
+    def _error(self, message: str, code: int = 400) -> Dict[str, Any]:
+        self.counters["errors"] += 1
+        return {"status": "error", "code": code, "error": message}
+
+    async def _handle_analyze(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.counters["analyze_requests"] += 1
+        source = request.get("source")
+        if not isinstance(source, str) or not source.strip():
+            return self._error("'source' must be a non-empty string")
+        kind = request.get("kind", "lnum")
+        if kind not in ("lnum", "fpcore"):
+            return self._error(f"unknown kind {kind!r} (expected 'lnum' or 'fpcore')")
+        priority_name = request.get("priority", "interactive")
+        if priority_name not in PRIORITY_NAMES:
+            return self._error(
+                f"unknown priority {priority_name!r} (expected 'interactive' or 'bulk')"
+            )
+        deadline_ms = request.get("deadline_ms")
+        if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
+            return self._error("'deadline_ms' must be a number")
+        if deadline_ms is not None and deadline_ms <= 0:
+            # 0 disables, matching `repro serve --deadline 0`.
+            deadline_ms = None
+            deadline_disabled = True
+        else:
+            deadline_disabled = False
+        name = request.get("name") or "<request>"
+        no_cache = bool(request.get("no_cache", False))
+
+        started = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        # Key normalization parses the source — real work for a large
+        # program — so it runs on the executor, keeping the event loop
+        # free to serve other connections' memory-cache hits meanwhile.
+        key = await loop.run_in_executor(None, self.request_key, source, kind)
+
+        if not no_cache:
+            if self.farm.disk is None:
+                cached = self.farm.get(key)  # memory-only: cheap, inline
+            else:
+                cached = self.farm.peek(key)
+                if cached is None:
+                    # Disk-tier pickle reads happen off the loop too.
+                    cached = await loop.run_in_executor(
+                        None, self._probe_disk_tiers, key, source, kind
+                    )
+                    if cached is None:
+                        # Re-check the memory tier: an in-flight duplicate
+                        # may have completed (stored its report and
+                        # deregistered) while the disk probe ran off-loop;
+                        # without this, that narrow window would schedule
+                        # a second inference for the same program.
+                        # ``count=False``: the probe above already recorded
+                        # this lookup's miss.
+                        cached = self.farm.peek(key, count=False)
+            if cached is not None:
+                self.counters["cache_hits"] += 1
+                return self._ok(cached, key, started, cached=True)
+
+        if deadline_disabled:
+            deadline_seconds: Optional[float] = None
+        elif deadline_ms is not None:
+            deadline_seconds = deadline_ms / 1000.0
+        else:
+            deadline_seconds = self.config.default_deadline_seconds
+
+        # ``no_cache`` opts out of coalescing too: such a request demands a
+        # fresh inference, and letting cache-respecting duplicates ride it
+        # would produce results that never reach the farm.
+        inflight = self._inflight.get(key) if not no_cache else None
+        if inflight is not None:
+            # Coalesce: ride the in-flight computation instead of queueing
+            # a duplicate.  This waiter may carry a longer budget than the
+            # submitter whose deadline the job inherited — extend the
+            # job's queue deadline so shared work is not dropped while a
+            # live waiter still has time left.
+            self.counters["coalesced"] += 1
+            if inflight.deadline is not None:
+                if deadline_seconds is None:
+                    inflight.deadline = None
+                else:
+                    inflight.deadline = max(
+                        inflight.deadline, time.monotonic() + deadline_seconds
+                    )
+            return await self._await_report(
+                inflight.future, deadline_seconds, key, started, coalesced=True
+            )
+
+        deadline: Optional[float] = None
+        if deadline_seconds is not None:
+            deadline = time.monotonic() + deadline_seconds
+
+        job = Job(
+            key=key,
+            item=BatchItem(name=name, kind=kind, source=source),
+            config=self.config.inference,
+            priority=PRIORITY_NAMES[priority_name],
+            deadline=deadline,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        if not no_cache:
+            self._inflight[key] = job
+        # Caching and in-flight cleanup follow the *job*, not the waiter:
+        # the future resolves only when the inference actually finishes
+        # (or the job is dropped/shed), so a report that completes after
+        # its submitter's deadline is still stored, and retries keep
+        # coalescing onto the running work until then.
+        job.future.add_done_callback(
+            lambda future: self._finish_job(job, no_cache, future)
+        )
+        try:
+            self.scheduler.submit(job)
+        except SchedulerBusy as busy:
+            # Resolving the future triggers _finish_job, which deregisters
+            # the in-flight entry (guarded, so a shed no_cache request
+            # never evicts another request's registration) and consumes
+            # the exception.
+            if not job.future.done():
+                job.future.set_exception(busy)
+            self.counters["busy"] += 1
+            return {"status": "busy", "code": 429, "key": key}
+        self.counters["scheduled"] += 1
+        return await self._await_report(job.future, deadline_seconds, key, started)
+
+    async def _await_report(
+        self,
+        future: "asyncio.Future",
+        deadline_seconds: Optional[float],
+        key: str,
+        started: float,
+        coalesced: bool = False,
+    ) -> Dict[str, Any]:
+        """Wait on a (possibly shared) job future and shape the response.
+
+        ``shield`` so one waiter's cancellation (a dropped connection)
+        never cancels the shared work; ``wait_for`` so each waiter's *own*
+        deadline applies — while queued, while running, and while riding a
+        coalesced computation with a longer budget.
+        """
+        try:
+            if deadline_seconds is not None:
+                report = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=deadline_seconds
+                )
+            else:
+                report = await asyncio.shield(future)
+        except (asyncio.TimeoutError, DeadlineExceeded):
+            self.counters["timeouts"] += 1
+            return {"status": "timeout", "code": 504, "key": key}
+        except SchedulerBusy:
+            self.counters["busy"] += 1
+            return {"status": "busy", "code": 429, "key": key}
+        except Exception as error:  # pragma: no cover - defensive
+            return self._error(f"analysis failed: {error}", code=500)
+        return self._ok(report, key, started, coalesced=coalesced)
+
+    def _finish_job(self, job: Job, no_cache: bool, future: "asyncio.Future") -> None:
+        """Done-callback for every scheduled job (runs on the event loop)."""
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        if future.cancelled() or future.exception() is not None:
+            return
+        self.counters["inferences"] += 1
+        if no_cache:
+            return
+        report = future.result()
+        self.farm.put(job.key, report, write_disk=False)
+        if self.farm.disk is not None:
+            # Persist asynchronously (pickle writes + budget eviction can
+            # take milliseconds): responses never wait on disk.
+            asyncio.get_running_loop().run_in_executor(
+                None, self._persist, job.key, job.item.source, job.item.kind, report
+            ).add_done_callback(_consume_result)
+
+    def _alias_key(self, source: str, kind: str) -> str:
+        """The exact-text key `repro batch` stores the same program under.
+
+        Probing and writing it keeps the disk tier interoperable in both
+        directions — a batch-warmed directory serves the service and vice
+        versa.  Only computed on the executor-side miss/persist paths:
+        digesting a large source has no place on the event loop.
+        """
+        return source_key(source, kind, self.config.inference)
+
+    def _probe_disk_tiers(self, key: str, source: str, kind: str) -> Any:
+        """Blocking cache probe (disk included); runs on the executor."""
+        cached = self.farm.get(key)
+        if cached is None and self.farm.disk is not None:
+            # The alias probe goes straight to the disk tier: routing it
+            # through the farm would count a second shard miss for one
+            # logical lookup (in a shard the real key doesn't map to) and
+            # duplicate the entry in memory under both keys.
+            alias = self._alias_key(source, kind)
+            if alias != key:
+                cached = self.farm.disk.get(alias, None)
+                if cached is not None:
+                    self.farm.put(key, cached, write_disk=False)
+        return cached
+
+    def _persist(self, key: str, source: str, kind: str, report: Any) -> None:
+        """Blocking disk write-back; runs on the executor."""
+        disk = self.farm.disk
+        if disk is None:
+            return
+        disk.put(key, report)
+        alias = self._alias_key(source, kind)
+        if alias != key:
+            disk.put(alias, report)
+
+    def _ok(
+        self,
+        report: Any,
+        key: str,
+        started: float,
+        cached: bool = False,
+        coalesced: bool = False,
+    ) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "op": "analyze",
+            "key": key,
+            "cached": cached,
+            "coalesced": coalesced,
+            "seconds": time.perf_counter() - started,
+            "report": report.to_dict(),
+        }
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` payload: service, cache and scheduler counters."""
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "service": dict(self.counters),
+            "inflight": len(self._inflight),
+            "cache": self.farm.stats(),
+            "parse_cache": self._analysis_cache.parse_stats.to_dict(),
+            "scheduler": self.scheduler.stats(),
+        }
+
+
+class AnalysisServer:
+    """Newline-delimited-JSON TCP front-end over an :class:`AnalysisService`."""
+
+    def __init__(
+        self,
+        service: Optional[AnalysisService] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service or AnalysisService()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Live connections, so stop() can close them: since Python 3.12.1
+        # ``Server.wait_closed`` waits for every connection handler to
+        # finish, and an idle client parked in readline() would otherwise
+        # hold shutdown hostage.
+        self._connections: set = set()
+        # Created inside the running loop (asyncio primitives bind their
+        # loop at construction on Python 3.9).
+        self._shutdown: Optional[asyncio.Event] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start the scheduler workers, and return ``(host, port)``."""
+        if self._shutdown is None:
+            self._shutdown = asyncio.Event()
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port, limit=MAX_REQUEST_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` request (or cancellation)."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            for writer in list(self._connections):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    await self._respond(
+                        writer,
+                        {"status": "error", "code": 400, "error": "request too large"},
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    await self._respond(
+                        writer,
+                        {"status": "error", "code": 400, "error": f"bad JSON: {error}"},
+                    )
+                    continue
+                response = await self.service.handle(request)
+                await self._respond(writer, response)
+                if isinstance(request, dict) and request.get("op") == "shutdown":
+                    self._shutdown.set()
+                    break
+        except ConnectionError:
+            # Covers resets *and* broken pipes (a client that sent a
+            # request and hung up before reading the response).
+            pass
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _respond(writer: asyncio.StreamWriter, response: Dict[str, Any]) -> None:
+        writer.write(json.dumps(response, separators=(",", ":")).encode("utf-8") + b"\n")
+        await writer.drain()

@@ -98,6 +98,86 @@ class TestTableCommand:
         assert "squareRoot3" in output
 
 
+class TestErrorPaths:
+    def test_unknown_command(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["frobnicate"])
+        assert info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_no_command(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main([])
+        assert info.value.code == 2
+
+    def test_unreadable_source_is_exit_code_2(self, tmp_path, capsys):
+        # A directory path opens with an OSError that is not FileNotFoundError.
+        assert main(["check", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_exit_code(self, capsys):
+        assert main(["check", "/does/not/exist.lnum"]) == 2
+        assert main(["fpcore", "/does/not/exist.fpcore"]) == 2
+        assert main(["validate", "/does/not/exist.lnum"]) == 2
+        capsys.readouterr()
+
+    def test_malformed_input_assignments(self, fma_file):
+        # No separator at all.
+        with pytest.raises(SystemExit):
+            main(["validate", fma_file, "-f", "FMA", "-i", "x0.1"])
+        # Separator present but the value is not a rational.
+        with pytest.raises(SystemExit):
+            main(["validate", fma_file, "-f", "FMA", "-i", "x=abc"])
+        # Division by zero inside a rational literal.
+        with pytest.raises(SystemExit):
+            main(["validate", fma_file, "-f", "FMA", "-i", "x=1/0"])
+
+    def test_batch_failure_exit_code(self, tmp_path, capsys):
+        broken = tmp_path / "broken.lnum"
+        broken.write_text("function f (x num { rnd x }")
+        assert main(["batch", str(broken), "--no-cache"]) == 2
+        assert "failure" in capsys.readouterr().out
+
+    def test_batch_annotation_violation_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.lnum"
+        bad.write_text("function f (x: num) : M[0]num { rnd x }\n")
+        assert main(["batch", str(bad), "--no-cache"]) == 1
+        capsys.readouterr()
+
+
+class TestVersionAndWiring:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_perf_is_a_real_subparser(self):
+        # The perf flags parse through the main parser (no REMAINDER hack).
+        from repro.cli import build_parser
+
+        arguments = build_parser().parse_args(
+            ["perf", "--quick", "--no-legacy", "--sizes", "100", "--out", "/tmp/x.json"]
+        )
+        assert arguments.command == "perf"
+        assert arguments.quick and arguments.no_legacy
+        assert arguments.sizes == "100"
+
+    def test_serve_and_query_parse(self):
+        from repro.cli import build_parser
+
+        serve = build_parser().parse_args(["serve", "--port", "0", "--jobs", "2"])
+        assert serve.command == "serve" and serve.jobs == 2
+        query = build_parser().parse_args(["query", "p.lnum", "--priority", "bulk"])
+        assert query.command == "query" and query.priority == "bulk"
+
+    def test_query_requires_paths_or_stats(self):
+        with pytest.raises(SystemExit):
+            main(["query"])
+
+
 class TestValidateCommand:
     def test_validate_function(self, fma_file, capsys):
         code = main(
