@@ -25,6 +25,7 @@ from .bounds import (
     rp_from_relative_error,
 )
 from .cache import AnalysisCache, CacheStats, default_cache_directory
+from .incremental import IncrementalAnalyzer, IncrementalReport, IncrementalStats
 
 __all__ = [
     "AnalysisCache",
@@ -33,6 +34,9 @@ __all__ = [
     "BatchResult",
     "CacheStats",
     "ErrorAnalysis",
+    "IncrementalAnalyzer",
+    "IncrementalReport",
+    "IncrementalStats",
     "PoolHandle",
     "ProgramReport",
     "SoundnessReport",

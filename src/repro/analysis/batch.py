@@ -237,12 +237,16 @@ def _analyze_item(
     item: BatchItem,
     config: Optional[InferenceConfig],
     cache: Optional[AnalysisCache] = None,
+    memo=None,
 ) -> ProgramReport:
     """Analyse one program; analysis errors become failed reports.
 
     ``cache`` (passed only when running in-process) memoizes the parse
     tree, so re-analysing the same source under a different instantiation
-    skips the parser.
+    skips the parser.  ``memo`` (a
+    :class:`~repro.core.inference.JudgementMemo`, in-process only) reuses
+    subterm judgements across items — common subexpressions shared by many
+    programs of a corpus are inferred once.
     """
     start = time.perf_counter()
     try:
@@ -258,6 +262,7 @@ def _analyze_item(
                     compiled.skeleton,
                     config,
                     name=core.name or item.name,
+                    memo=memo,
                 )
             ]
         else:
@@ -268,9 +273,11 @@ def _analyze_item(
             else:
                 program = parse_program(item.source)
             if not program.definitions and program.main is not None:
-                analyses = [analyze_term(program.main, {}, config, name="<main>")]
+                analyses = [
+                    analyze_term(program.main, {}, config, name="<main>", memo=memo)
+                ]
             else:
-                analyses = analyze_program(program, config)
+                analyses = analyze_program(program, config, memo=memo)
         return ProgramReport(
             name=item.name,
             kind=item.kind,

@@ -69,6 +69,7 @@ __all__ = [
     "source_key",
     "term_key",
     "make_key",
+    "memo_report",
     "default_cache_directory",
 ]
 
@@ -137,6 +138,39 @@ def make_key(*parts: object) -> str:
     """SHA-256 digest of the joined parts plus the schema version."""
     text = "\x1f".join(str(part) for part in (CACHE_SCHEMA, *parts))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def memo_report() -> dict:
+    """Occupancy of every process-wide bounded memo, for ``/stats``.
+
+    A long-lived ``repro serve`` process accumulates interned terms,
+    grades, fingerprints, free-variable sets and exact-math enclosures;
+    each of those tables is individually bounded (LRU) and this aggregates
+    their sizes so operators can watch occupancy against the caps.
+    """
+    from ..core.ast import ast_memo_stats
+    from ..core.grades import grade_memo_stats
+    from ..floats import exactmath
+
+    report = {
+        "ast": ast_memo_stats(),
+        "grades": grade_memo_stats(),
+    }
+    exactmath_report = {}
+    for name in dir(exactmath):
+        function = getattr(exactmath, name)
+        info = getattr(function, "cache_info", None)
+        if callable(info):
+            stats = info()
+            exactmath_report[name.lstrip("_")] = {
+                "entries": stats.currsize,
+                "capacity": stats.maxsize,
+                "hits": stats.hits,
+                "misses": stats.misses,
+            }
+    if exactmath_report:
+        report["exactmath"] = exactmath_report
+    return report
 
 
 @dataclass

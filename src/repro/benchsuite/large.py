@@ -36,6 +36,10 @@ __all__ = [
     "dot_product_expression",
     "mixed_chain_expression",
     "conditional_ladder_term",
+    "shared_block_term",
+    "dag_fanout_term",
+    "dag_cascade_term",
+    "balanced_rnd_tree_term",
     "horner_benchmark",
     "serial_sum_benchmark",
     "poly50_benchmark",
@@ -161,6 +165,117 @@ def conditional_ladder_term(depth: int) -> Tuple[A.Term, Dict[str, T.Type]]:
             term,
         )
     return term, skeleton
+
+
+# ---------------------------------------------------------------------------
+# Shared-subterm (DAG) program shapes
+#
+# These builders create terms whose *tree* is much larger than their set of
+# *distinct* subterms: one arithmetic block object is referenced from many
+# sites, so after hash-consing (`core.ast.intern_term`, which the perf
+# families apply) the repeated sites are pointer-identical and DAG-memoized
+# inference (`core.inference.infer`) infers the block exactly once.  They
+# are built directly as Λnum terms — building through the expression
+# compiler would mint fresh let names per occurrence and destroy the
+# structural identity that sharing relies on.  Some pair nodes combine
+# computations rather than syntactic values; the inference algorithm is
+# defined on all terms, and these shapes exist to benchmark it, not to be
+# evaluated.
+# ---------------------------------------------------------------------------
+
+
+def shared_block_term(operations: int, variable: str = "x", prefix: str = "s") -> A.Term:
+    """A let-bind chain of ``operations`` rounded ops over one free variable.
+
+    Alternates with-pair additions and tensor-pair multiplications, so the
+    block exercises both context-combination operators; its only free
+    variable is ``variable``, which keeps the block memoizable wherever it
+    is spliced (the judgement key's skeleton slice is one entry).
+    """
+    if operations < 1:
+        raise ValueError("need at least one operation")
+    term: A.Term = A.Ret(A.Var(f"{prefix}{operations - 1}"))
+    for index in range(operations - 1, -1, -1):
+        previous = A.Var(variable) if index == 0 else A.Var(f"{prefix}{index - 1}")
+        if index % 2:
+            value: A.Term = A.Rnd(A.Op("add", A.WithPair(previous, A.Var(variable))))
+        else:
+            value = A.Rnd(A.Op("mul", A.TensorPair(previous, A.Var(variable))))
+        term = A.LetBind(f"{prefix}{index}", value, term)
+    return term
+
+
+def _reference_chain(block: A.Term, repeats: int, prefix: str) -> A.Term:
+    """``repeats`` let-bind references to the *same* block object."""
+    if repeats < 1:
+        raise ValueError("need at least one reference")
+    term: A.Term = A.Ret(A.Var(f"{prefix}{repeats - 1}"))
+    for index in range(repeats - 1, -1, -1):
+        term = A.LetBind(f"{prefix}{index}", block, term)
+    return term
+
+
+def dag_fanout_term(
+    repeats: int, block_operations: int = 32
+) -> Tuple[A.Term, Dict[str, T.Type]]:
+    """``repeats`` sequenced references to one shared arithmetic block.
+
+    The shape of a program that evaluates the same common subexpression at
+    many sites (repeated Horner steps, FMA patterns): tree size grows by
+    ``~6 * block_operations`` per reference while the distinct-node count
+    grows by ~2, so the sharing factor approaches the block size.
+    """
+    block = shared_block_term(block_operations)
+    return _reference_chain(block, repeats, "t"), {"x": T.NUM}
+
+
+def dag_cascade_term(
+    repeats: int, block_operations: int = 16, middle_repeats: int = 4
+) -> Tuple[A.Term, Dict[str, T.Type]]:
+    """Two-level sharing: a shared block inside a shared middle chain.
+
+    The outer chain references one *middle* term ``repeats`` times, and the
+    middle term itself references one inner block ``middle_repeats`` times —
+    so memo hits cascade: the first outer reference infers the middle once
+    (hitting the inner block's judgement along the way), and every further
+    outer reference is a single hit.
+    """
+    block = shared_block_term(block_operations, prefix="i")
+    middle = _reference_chain(block, middle_repeats, "m")
+    return _reference_chain(middle, repeats, "o"), {"x": T.NUM}
+
+
+def balanced_rnd_tree_term(
+    leaves: int, edit: Optional[Tuple[int, Fraction]] = None
+) -> Tuple[A.Term, Dict[str, T.Type]]:
+    """A balanced with-pair tree over ``leaves`` rounded literals.
+
+    The edit-replay benchmark's program shape: balanced, so the spine from
+    any leaf to the root is ``O(log leaves)``, and every node's free
+    variables are at most ``{x}`` (every 16th leaf rounds the input
+    variable instead of a literal), so every node is memoizable.  ``edit``
+    replaces leaf ``index``'s literal with ``value`` — re-analysing the
+    edited tree against a warm judgement memo costs the changed spine
+    only, which is what makes reanalysis edit-sized.
+    """
+    if leaves < 2:
+        raise ValueError("need at least two leaves")
+    level: List[A.Term] = []
+    for index in range(leaves):
+        if index % 16 == 15:
+            level.append(A.Rnd(A.Var("x")))
+        elif edit is not None and index == edit[0]:
+            level.append(A.Rnd(A.Const(edit[1])))
+        else:
+            level.append(A.Rnd(A.Const(Fraction(index % 97 + 1, 7))))
+    while len(level) > 1:
+        paired: List[A.Term] = []
+        for index in range(0, len(level) - 1, 2):
+            paired.append(A.WithPair(level[index], level[index + 1]))
+        if len(level) % 2 == 1:
+            paired.append(level[-1])
+        level = paired
+    return level[0], {"x": T.NUM}
 
 
 # ---------------------------------------------------------------------------

@@ -25,8 +25,9 @@ from __future__ import annotations
 import itertools
 import threading
 import weakref
+from collections import OrderedDict
 from fractions import Fraction
-from typing import Dict, Iterator, Optional, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple, Union
 
 from .grades import Grade, GradeLike, as_grade
 from .types import Type, UNIT
@@ -58,6 +59,10 @@ __all__ = [
     "substitute",
     "fresh_name",
     "term_size",
+    "tree_size",
+    "dag_size",
+    "term_free_variables",
+    "FREE_VARIABLE_CAP",
     "count_rounds",
     "pretty",
     "true_value",
@@ -66,6 +71,7 @@ __all__ = [
     "intern_term",
     "is_interned",
     "term_fingerprint",
+    "ast_memo_stats",
 ]
 
 NumberLike = Union[int, float, Fraction, str]
@@ -622,10 +628,93 @@ def intern_term(term: Term) -> Term:
     return canonical_of[id(term)]
 
 
-#: intern id -> fingerprint.  Keyed by id (ids are never reused), so the
-#: entry simply goes stale when the term dies; only top-level analysed terms
-#: are fingerprinted, keeping this table tiny.
-_FINGERPRINT_MEMO: Dict[int, str] = {}
+class _BoundedMemo:
+    """A bounded, lock-guarded LRU with hit/miss/eviction counters.
+
+    The shared memo primitive of the kernel: the intern-id memos below use
+    it directly, and the judgement memo of :mod:`repro.core.inference`
+    builds on it.  The bound matters to long-lived ``repro serve``
+    processes: without it every distinct subterm ever analysed would pin an
+    entry forever.  The lock keeps the OrderedDict bookkeeping (and the
+    counters) consistent when service threads — the asyncio loop, executor
+    workers — share one memo.
+
+    For the intern-id memos, keys are process-unique and never reused, so
+    an entry can never be served for the wrong term — it only goes stale
+    (and unreachable) when the term dies.
+    """
+
+    __slots__ = ("capacity", "_entries", "_lock", "hits", "misses", "puts", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[object, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    def get(self, key, default=None):
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self.puts += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+            }
+
+
+#: intern id -> fingerprint.  Only top-level analysed terms are
+#: fingerprinted, so the bound is generous.
+_FINGERPRINT_MEMO = _BoundedMemo(65_536)
+
+#: intern id -> frozenset of free variables, or None when the set exceeds
+#: :data:`FREE_VARIABLE_CAP` (see :func:`term_free_variables`).
+_FREE_VARS_MEMO = _BoundedMemo(262_144)
+
+#: intern id -> tree node count (counting shared subterms once per
+#: occurrence) / distinct interned node count.
+_TREE_SIZE_MEMO = _BoundedMemo(262_144)
+_DAG_SIZE_MEMO = _BoundedMemo(262_144)
+
+#: Free-variable sets larger than this are not tracked per subterm: the
+#: judgement memo in :mod:`repro.core.inference` keys on the skeleton slice
+#: over a subterm's free variables, and building that slice for a node with
+#: hundreds of free variables (the accumulated spine of a wide let-chain)
+#: would make every visit linear in the context width — exactly the
+#: quadratic blow-up the bottom-up algorithm avoids.  The cap makes the
+#: per-node cost O(cap); nodes over the cap simply opt out of memoization.
+FREE_VARIABLE_CAP = 24
 
 
 def term_fingerprint(term: Term) -> str:
@@ -661,8 +750,183 @@ def term_fingerprint(term: Term) -> str:
         update(b";")
     result = digest.hexdigest()
     if intern_id is not None:
-        _FINGERPRINT_MEMO[intern_id] = result
+        _FINGERPRINT_MEMO.put(intern_id, result)
     return result
+
+
+# ---------------------------------------------------------------------------
+# DAG-aware derived data (free variables, tree vs. DAG size)
+#
+# All three walks below visit each *distinct* node once: an explicit stack
+# drives a post-order DFS with a visited set, and interned nodes memoize
+# their value globally by intern id, so repeated queries over hash-consed
+# terms are dictionary probes.  Terms are acyclic, which is what makes the
+# single visited set sound: a child encountered in the visited set while
+# expanding a parent is always already *finished* (a still-in-flight child
+# would make the parent its own descendant, i.e. a cycle).
+# ---------------------------------------------------------------------------
+
+_EMPTY_FV: FrozenSet[str] = frozenset()
+_FV_MISS = object()
+
+
+def _combine_free_variables(node: Term, child_sets, cap: int):
+    """Free variables of ``node`` given its children's sets (None = over cap)."""
+    cls = type(node)
+    if cls is Var:
+        return frozenset((node.name,))
+    if not child_sets:
+        return _EMPTY_FV
+    if None in child_sets:
+        # Over-cap children are absorbing: a binder *could* shrink the set
+        # back under the cap, but tracking that would need the full set.
+        return None
+    if cls is Lambda:
+        result = child_sets[0] - {node.parameter}
+    elif cls is LetTensor:
+        value, body = child_sets
+        result = value | (body - {node.left_var, node.right_var})
+    elif cls is Case:
+        scrutinee, left_body, right_body = child_sets
+        result = (
+            scrutinee
+            | (left_body - {node.left_var})
+            | (right_body - {node.right_var})
+        )
+    elif cls in (LetBox, LetBind):
+        value, body = child_sets
+        result = value | (body - {node.variable})
+    elif cls is Let:
+        bound, body = child_sets
+        result = bound | (body - {node.variable})
+    else:
+        result = child_sets[0]
+        for child_set in child_sets[1:]:
+            result = result | child_set
+    if len(result) > cap:
+        return None
+    return result
+
+
+def term_free_variables(term: Term, cap: Optional[int] = None) -> Optional[FrozenSet[str]]:
+    """The term's free variables as a frozenset, or ``None`` when over ``cap``.
+
+    The judgement memo of :mod:`repro.core.inference` keys each subterm by
+    the skeleton slice over its free variables, so this is called per node
+    visited; the cap (default :data:`FREE_VARIABLE_CAP`) keeps the per-node
+    cost constant, and interned nodes memoize their set globally so each
+    distinct subterm computes it once per process.
+    """
+    if cap is None:
+        cap = FREE_VARIABLE_CAP
+    use_memo = cap == FREE_VARIABLE_CAP
+    local: Dict[int, Optional[FrozenSet[str]]] = {}
+    visited: Set[int] = set()
+    stack = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        ref = id(node)
+        if expanded:
+            value = _combine_free_variables(
+                node, [local[id(child)] for child in node.children()], cap
+            )
+            local[ref] = value
+            if use_memo:
+                intern_id = getattr(node, "_intern_id", None)
+                if intern_id is not None:
+                    _FREE_VARS_MEMO.put(intern_id, value)
+            continue
+        if ref in visited:
+            continue
+        if use_memo:
+            intern_id = getattr(node, "_intern_id", None)
+            if intern_id is not None:
+                cached = _FREE_VARS_MEMO.get(intern_id, _FV_MISS)
+                if cached is not _FV_MISS:
+                    local[ref] = cached
+                    visited.add(ref)
+                    continue
+        visited.add(ref)
+        stack.append((node, True))
+        for child in node.children():
+            stack.append((child, False))
+    return local[id(term)]
+
+
+def tree_size(term: Term) -> int:
+    """Node count with shared subterms counted once per *occurrence*.
+
+    Same value as :func:`term_size`, but computed as a DAG recurrence
+    (``1 + Σ tree_size(child)``) memoized by intern id, so a term with
+    heavy sharing costs its *distinct* node count rather than its tree
+    node count — and repeated queries are a single dictionary probe.
+    """
+    local: Dict[int, int] = {}
+    visited: Set[int] = set()
+    stack = [(term, False)]
+    while stack:
+        node, expanded = stack.pop()
+        ref = id(node)
+        if expanded:
+            size = 1 + sum(local[id(child)] for child in node.children())
+            local[ref] = size
+            intern_id = getattr(node, "_intern_id", None)
+            if intern_id is not None:
+                _TREE_SIZE_MEMO.put(intern_id, size)
+            continue
+        if ref in visited:
+            continue
+        intern_id = getattr(node, "_intern_id", None)
+        if intern_id is not None:
+            cached = _TREE_SIZE_MEMO.get(intern_id)
+            if cached is not None:
+                local[ref] = cached
+                visited.add(ref)
+                continue
+        visited.add(ref)
+        stack.append((node, True))
+        for child in node.children():
+            stack.append((child, False))
+    return local[id(term)]
+
+
+def dag_size(term: Term) -> int:
+    """Number of *distinct* nodes (shared subterms counted once).
+
+    For an interned term this is the number of judgements DAG-memoized
+    inference actually computes; ``tree_size(term) / dag_size(term)`` is
+    the sharing factor.  The count is memoized by the root's intern id
+    (it is not compositional over children, so only the root memoizes).
+    """
+    root_id = getattr(term, "_intern_id", None)
+    if root_id is not None:
+        cached = _DAG_SIZE_MEMO.get(root_id)
+        if cached is not None:
+            return cached
+    visited: Set[int] = set()
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        ref = id(node)
+        if ref in visited:
+            continue
+        visited.add(ref)
+        stack.extend(node.children())
+    count = len(visited)
+    if root_id is not None:
+        _DAG_SIZE_MEMO.put(root_id, count)
+    return count
+
+
+def ast_memo_stats() -> Dict[str, Dict[str, int]]:
+    """Sizes and caps of the module-level memo tables (for ``/stats``)."""
+    return {
+        "intern_table": {"entries": len(_INTERN_TABLE)},
+        "fingerprints": _FINGERPRINT_MEMO.stats(),
+        "free_variables": _FREE_VARS_MEMO.stats(),
+        "tree_sizes": _TREE_SIZE_MEMO.stats(),
+        "dag_sizes": _DAG_SIZE_MEMO.stats(),
+    }
 
 
 def count_rounds(term: Term) -> int:

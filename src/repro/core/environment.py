@@ -192,9 +192,18 @@ def _restore_context(items: tuple) -> "Context":
 
 
 class Context:
-    """An immutable typing environment ``x_1 :_{s_1} σ_1, …, x_n :_{s_n} σ_n``."""
+    """An immutable typing environment ``x_1 :_{s_1} σ_1, …, x_n :_{s_n} σ_n``.
 
-    __slots__ = ("_root", "_mult")
+    Immutability is load-bearing beyond the usual persistent-structure
+    benefits: the judgement memo of :mod:`repro.core.inference` stores
+    ``(context, type)`` pairs and hands the *same* context to every parent
+    that reuses the judgement — across subterms, analysis calls and service
+    threads.  Nothing here mutates a node after construction, every
+    operation returns a fresh wrapper, and the hash is computed lazily once
+    per instance, so that sharing needs no copies and no locks.
+    """
+
+    __slots__ = ("_root", "_mult", "_hash")
 
     def __init__(self, bindings: Mapping[str, Tuple[Type, Grade]] | None = None) -> None:
         root: Optional[_Node] = None
@@ -203,12 +212,14 @@ class Context:
                 root = _insert(root, name, tau, as_grade(sens), _prio(name), _replace)
         self._root = root
         self._mult = ONE
+        self._hash = None
 
     @classmethod
     def _wrap(cls, root: Optional[_Node], mult: Grade = ONE) -> "Context":
         context = object.__new__(cls)
         context._root = root
         context._mult = mult if root is not None else ONE
+        context._hash = None
         return context
 
     def _materialized_root(self) -> Optional[_Node]:
@@ -415,7 +426,14 @@ class Context:
         return True
 
     def __hash__(self) -> int:
-        return hash(frozenset(self.items()))
+        # Cached: judgement-memo sharing hands one context to many readers,
+        # and rebuilding the frozenset per hash call would defeat that.
+        # The benign race (two threads computing the same value) is safe.
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self.items()))
+            self._hash = cached
+        return cached
 
     # -- display --------------------------------------------------------------
 

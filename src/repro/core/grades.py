@@ -46,6 +46,7 @@ __all__ = [
     "ONE",
     "as_grade",
     "parse_grade",
+    "grade_memo_stats",
 ]
 
 GradeLike = Union["Grade", int, float, Fraction, str]
@@ -407,6 +408,32 @@ def _memoized_mul(left: "Grade", right: "Grade") -> "Grade":
             mono = tuple(sorted(mono_a + mono_b))
             terms[mono] = terms.get(mono, Fraction(0)) + coeff_a * coeff_b
     return Grade(terms)
+
+
+def grade_memo_stats() -> Dict[str, Dict[str, int]]:
+    """Sizes/bounds of the module-level grade memos (for ``/stats``).
+
+    Both ring-operation memos are LRU-bounded (``functools.lru_cache``), so
+    a long-lived ``repro serve`` process cannot grow them without limit;
+    this reports their occupancy so an operator can see churn vs. headroom.
+    """
+    add_info = _memoized_add.cache_info()
+    mul_info = _memoized_mul.cache_info()
+    return {
+        "intern_table": {"entries": len(_INTERN)},
+        "add": {
+            "entries": add_info.currsize,
+            "capacity": add_info.maxsize,
+            "hits": add_info.hits,
+            "misses": add_info.misses,
+        },
+        "mul": {
+            "entries": mul_info.currsize,
+            "capacity": mul_info.maxsize,
+            "hits": mul_info.hits,
+            "misses": mul_info.misses,
+        },
+    }
 
 
 ZERO = Grade.constant(0)

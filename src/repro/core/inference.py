@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from . import ast as A
 from . import types as T
@@ -44,7 +44,14 @@ from .grades import EPS, Grade, GradeLike, ONE, ZERO, as_grade
 from .signature import Signature, standard_signature
 from .subtyping import is_subtype, join
 
-__all__ = ["InferenceConfig", "InferenceResult", "infer", "infer_type", "check_term"]
+__all__ = [
+    "InferenceConfig",
+    "InferenceResult",
+    "JudgementMemo",
+    "infer",
+    "infer_type",
+    "check_term",
+]
 
 
 @dataclass(frozen=True)
@@ -86,15 +93,154 @@ class InferenceResult:
         return None
 
 
+# ---------------------------------------------------------------------------
+# The judgement memo
+#
+# Fig. 10 is bottom-up and never splits the environment, so the judgement
+# computed for a subterm depends only on (a) the subterm itself, (b) the
+# skeleton types of its *free* variables, and (c) the inference
+# configuration.  For hash-consed terms that makes judgements memoizable per
+# distinct subterm: the engine keys each interned node by
+# ``(config fingerprint, intern id, sorted (name, type) slice of the
+# skeleton over the node's free variables)`` and reuses the stored
+# ``(context, type)`` pair wholesale.  Contexts are persistent (immutable,
+# structurally shared), so handing the same judgement to many parents — or
+# many requests, via the service's shared memo — is safe by construction.
+# ---------------------------------------------------------------------------
+
+#: Leaf rules are cheaper to re-run than to memoize.
+_MEMO_SKIP = (A.Var, A.UnitVal, A.Const, A.Err)
+
+#: Only enable the per-call memo when sharing actually pays for the key
+#: bookkeeping: at least 20% more tree nodes than distinct nodes.
+_AUTO_MEMO_RATIO = 1.2
+_AUTO_MEMO_MIN_NODES = 64
+
+
+def _config_fingerprint(config: InferenceConfig) -> Tuple:
+    """Everything that can change a judgement, as a small hashable tuple.
+
+    The signature part covers operation *types*, not just names: two
+    signatures that give ``add`` different arrows must not share
+    judgements.  Computed once per engine run — a handful of small type
+    hashes, far below one rule application.
+    """
+    signature = config.signature
+    operations = tuple(
+        sorted(
+            (name, signature.lookup(name).input_type, signature.lookup(name).result_type)
+            for name in signature.names()
+        )
+    )
+    return (
+        config.rnd_grade,
+        config.case_guard_sensitivity,
+        config.allow_unused_let,
+        operations,
+    )
+
+
+class _DictMemo:
+    """Unbounded per-call memo: one ``infer`` invocation, no locking."""
+
+    __slots__ = ("entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.entries: Dict[Tuple, _Judgement] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple) -> Optional["_Judgement"]:
+        judgement = self.entries.get(key)
+        if judgement is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return judgement
+
+    def put(self, key: Tuple, judgement: "_Judgement") -> None:
+        self.entries[key] = judgement
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class JudgementMemo(A._BoundedMemo):
+    """A bounded, thread-safe LRU of subterm judgements.
+
+    Share one instance across :func:`infer` calls to make *re*-analysis
+    DAG-sized across programs: every interned subterm whose free-variable
+    skeleton slice and configuration match a stored judgement is reused
+    instead of re-inferred.  The ``repro serve`` process keeps one per
+    server (corpus-wide common subexpressions infer once per lifetime) and
+    :class:`repro.analysis.incremental.IncrementalAnalyzer` keeps one per
+    session (edit-sized reanalysis).
+
+    Entries can never go stale: keys are content-addressed (intern ids are
+    never reused, skeleton slices and config fingerprints are by value), so
+    the only invalidation is LRU eviction at the capacity bound.  The
+    storage/locking machinery is the kernel-wide bounded memo of
+    :mod:`repro.core.ast`; this adds the judgement-specific reporting.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        super().__init__(capacity)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot (the ``judgement_memo`` block of ``/stats``)."""
+        report = super().stats()
+        report["hit_rate"] = self.hit_rate
+        return report
+
+
+#: What callers may pass as ``memo``: ``None`` (auto), ``False`` (off), or
+#: an explicit memo instance shared across calls.
+MemoLike = Union[None, bool, JudgementMemo, _DictMemo]
+
+
+def _resolve_memo(term: A.Term, memo: MemoLike):
+    if memo is None:
+        # Auto mode: pay for memoization only when the interned term has
+        # real sharing.  Both sizes are DAG-cost to compute and memoized by
+        # intern id, so this probe is O(1) on repeated calls.
+        if A.is_interned(term):
+            tree = A.tree_size(term)
+            if tree >= _AUTO_MEMO_MIN_NODES and tree >= _AUTO_MEMO_RATIO * A.dag_size(term):
+                return _DictMemo()
+        return None
+    if isinstance(memo, bool):
+        # False: forced off.  True: forced on (a per-call memo even when
+        # the auto heuristic would decline, e.g. sharing below the ratio).
+        return _DictMemo() if memo else None
+    return memo
+
+
 def infer(
     term: A.Term,
     skeleton: Mapping[str, T.Type] | None = None,
     config: InferenceConfig | None = None,
+    memo: MemoLike = None,
 ) -> InferenceResult:
-    """Run sensitivity inference on ``term`` under the skeleton ``Γ•``."""
+    """Run sensitivity inference on ``term`` under the skeleton ``Γ•``.
+
+    ``memo`` controls subterm-judgement memoization: ``None`` (default)
+    auto-enables a per-call memo when ``term`` is interned and shares
+    subterms, so inference costs the *DAG* size instead of the tree size;
+    ``False`` disables memoization entirely and ``True`` forces a per-call
+    memo on; a :class:`JudgementMemo` instance is consulted and populated,
+    carrying judgements across calls (incremental reanalysis, the
+    service's shared memo).
+    """
     config = config or InferenceConfig()
     engine = _Engine(config)
-    context, tau = engine.run(term, dict(skeleton or {}))
+    context, tau = engine.run(term, dict(skeleton or {}), _resolve_memo(term, memo))
     return InferenceResult(context, tau)
 
 
@@ -132,6 +278,11 @@ _ABSENT = object()
 #: A judgement on the result stack: (context, type).
 _Judgement = Tuple[Context, T.Type]
 
+#: Stage sentinel for the frame that records a finished judgement into the
+#: memo.  It is pushed *below* a node's stage-0 frame on a memo miss, so it
+#: pops exactly when the node's judgement is on top of the result stack.
+_STAGE_RECORD = -1
+
 
 class _Engine:
     """Explicit-stack evaluator for the rules of Fig. 10.
@@ -141,6 +292,11 @@ class _Engine:
     premises' judgements sit on the result stack.  ``aux`` carries the saved
     skeleton binding that the stage must restore when it leaves a binder's
     scope, keeping the single scope dict consistent with the DFS position.
+
+    With a memo, every eligible interned node is keyed before expansion: a
+    hit pushes the stored judgement and skips the whole subtree (the walk
+    visits each *distinct* subterm once — DAG cost, not tree cost); a miss
+    schedules a record frame that stores the judgement once computed.
     """
 
     __slots__ = ("config", "signature", "skeleton", "stack", "results")
@@ -149,15 +305,33 @@ class _Engine:
         self.config = config
         self.signature = config.signature
 
-    def run(self, term: A.Term, skeleton: Dict[str, T.Type]) -> _Judgement:
+    def run(
+        self,
+        term: A.Term,
+        skeleton: Dict[str, T.Type],
+        memo=None,
+    ) -> _Judgement:
         self.skeleton = skeleton
         stack: List[Tuple[A.Term, int, object]] = [(term, 0, None)]
         self.stack = stack
         results: List[_Judgement] = []
         self.results = results
         dispatch = _DISPATCH
+        config_fp = _config_fingerprint(self.config) if memo is not None else None
         while stack:
             node, stage, aux = stack.pop()
+            if memo is not None:
+                if stage == _STAGE_RECORD:
+                    memo.put(aux, results[-1])
+                    continue
+                if stage == 0:
+                    key = self._memo_key(node, config_fp)
+                    if key is not None:
+                        judgement = memo.get(key)
+                        if judgement is not None:
+                            results.append(judgement)
+                            continue
+                        stack.append((node, _STAGE_RECORD, key))
             handler = dispatch.get(type(node))
             if handler is None:
                 raise TypeInferenceError(
@@ -165,6 +339,30 @@ class _Engine:
                 )
             handler(self, node, stage, aux)
         return results.pop()
+
+    def _memo_key(self, node: A.Term, config_fp: Tuple) -> Optional[Tuple]:
+        """``(config, intern id, skeleton slice over free vars)`` or None.
+
+        ``None`` opts the node out: leaves (cheaper to recompute),
+        un-interned nodes (no stable identity), nodes whose free-variable
+        set exceeds :data:`~repro.core.ast.FREE_VARIABLE_CAP` (the slice
+        would cost more than the rule), and nodes with an unbound free
+        variable (let the rule raise the real error).
+        """
+        if isinstance(node, _MEMO_SKIP):
+            return None
+        intern_id = getattr(node, "_intern_id", None)
+        if intern_id is None:
+            return None
+        free = A.term_free_variables(node)
+        if free is None:
+            return None
+        skeleton = self.skeleton
+        try:
+            scope = tuple((name, skeleton[name]) for name in sorted(free))
+        except KeyError:
+            return None
+        return (config_fp, intern_id, scope)
 
     # -- scope bookkeeping --------------------------------------------------
 

@@ -28,9 +28,10 @@ import time
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core import ast as A
 from ..core.environment import Context
 from ..core.grades import EPS, Grade
-from ..core.inference import InferenceConfig, infer
+from ..core.inference import InferenceConfig, JudgementMemo, infer
 from ..core.types import NUM
 from ..floats.exactmath import rp_distance_enclosure
 from .families import FAMILIES, parameter_for_nodes
@@ -50,7 +51,12 @@ __all__ = [
 ]
 
 BENCH_FILENAME = "BENCH_inference.json"
-REPORT_SCHEMA = 1
+#: Schema history: 2 — entries carry both ``tree_nodes`` and ``dag_nodes``
+#: (``nodes`` keeps reporting tree size for baseline compatibility), the
+#: shared-subterm ``infer/dag_*`` rows add ``nomemo_seconds`` /
+#: ``memo_speedup`` / memo hit counters, and the ``incremental/*`` rows
+#: record edit-replay reanalysis costs.
+REPORT_SCHEMA = 2
 
 #: Node-count targets for the inference families.
 FULL_SIZES: Tuple[int, ...] = (1_000, 10_000, 100_000)
@@ -108,13 +114,48 @@ def _inference_benchmarks(
     for family_name in family_names:
         for target in sizes:
             parameter = parameter_for_nodes(family_name, target)
-            term, skeleton, nodes = FAMILIES[family_name].instantiate(parameter)
+            term, skeleton, nodes, dag_nodes = FAMILIES[family_name].instantiate(
+                parameter
+            )
+            shared = nodes > dag_nodes * 1.2
             name = f"infer/{family_name}/{target}"
-            progress(f"  {name}: {nodes} nodes (parameter {parameter})")
+            progress(
+                f"  {name}: {nodes} tree nodes, {dag_nodes} distinct "
+                f"(parameter {parameter})"
+            )
 
             once = _best_of(lambda: infer(term, skeleton, config), 1)
             repeats = _repeats_for(once, quick)
             seconds = min(once, _best_of(lambda: infer(term, skeleton, config), repeats - 1)) if repeats > 1 else once
+
+            # For shared-subterm families, also time the engine with the
+            # judgement memo forced off (tree-cost) and capture the memo
+            # traffic of one fresh memoized run (DAG-cost).
+            nomemo_seconds: Optional[float] = None
+            memo_stats: Optional[Dict[str, object]] = None
+            if shared:
+                # Calibrate repeats on the unmemoized run's own cost: at
+                # full size it is 20-40x slower than the memoized timing,
+                # so borrowing `repeats` from above would re-run a
+                # multi-second inference needlessly.
+                nomemo_once = _best_of(
+                    lambda: infer(term, skeleton, config, memo=False), 1
+                )
+                nomemo_repeats = _repeats_for(nomemo_once, quick)
+                nomemo_seconds = (
+                    min(
+                        nomemo_once,
+                        _best_of(
+                            lambda: infer(term, skeleton, config, memo=False),
+                            nomemo_repeats - 1,
+                        ),
+                    )
+                    if nomemo_repeats > 1
+                    else nomemo_once
+                )
+                fresh_memo = JudgementMemo(max(65_536, 4 * dag_nodes))
+                infer(term, skeleton, config, memo=fresh_memo)
+                memo_stats = fresh_memo.stats()
 
             legacy_seconds: Optional[float] = None
             legacy_cap = LEGACY_NODE_CAPS.get(family_name, DEFAULT_LEGACY_NODE_CAP)
@@ -133,17 +174,127 @@ def _inference_benchmarks(
                 "category": "inference",
                 "family": family_name,
                 "parameter": parameter,
+                #: ``nodes`` stays the tree count (baseline compatibility);
+                #: ``tree_nodes``/``dag_nodes`` make the distinction explicit.
                 "nodes": nodes,
+                "tree_nodes": nodes,
+                "dag_nodes": dag_nodes,
                 "seconds": seconds,
                 "legacy_seconds": legacy_seconds,
                 "speedup": (legacy_seconds / seconds) if legacy_seconds else None,
                 "repeats": repeats,
             }
+            if nomemo_seconds is not None:
+                entry["nomemo_seconds"] = nomemo_seconds
+                entry["memo_speedup"] = nomemo_seconds / seconds if seconds else None
+            if memo_stats is not None:
+                entry["memo_hits"] = memo_stats["hits"]
+                entry["memo_misses"] = memo_stats["misses"]
+                entry["memo_hit_rate"] = memo_stats["hit_rate"]
             if legacy_skipped:
                 entry["legacy_skipped"] = (
                     f"seed engine is quadratic here; not timed beyond {legacy_cap} nodes"
                 )
             results.append(entry)
+    return results
+
+
+def _incremental_benchmarks(
+    sizes: Sequence[int],
+    quick: bool,
+    progress: Callable[[str], None],
+) -> List[Dict[str, object]]:
+    """Edit-replay: re-analyse a balanced program after single-site edits.
+
+    Each edit rebuilds and re-interns the program (that cost is reported
+    separately as ``intern_seconds`` — it is linear in the program and
+    unavoidable for a textual edit), then times ``infer`` against the warm
+    judgement memo.  Only the changed spine misses, so ``seconds`` (the
+    mean per-edit inference time) stays near-constant while ``nodes``
+    grows 100x; ``full_seconds`` is the from-scratch cost for comparison.
+    """
+    from fractions import Fraction as _Fraction
+
+    from ..benchsuite.large import balanced_rnd_tree_term
+
+    config = InferenceConfig()
+    edits = 4 if quick else 8
+    results: List[Dict[str, object]] = []
+
+    probe_term, _ = balanced_rnd_tree_term(64)
+    probe_term = A.intern_term(probe_term)
+    density = A.tree_size(probe_term) / 64
+
+    for target in sizes:
+        leaves = max(2, round(target / density))
+        base_term, skeleton = balanced_rnd_tree_term(leaves)
+        base_term = A.intern_term(base_term)
+        nodes = A.tree_size(base_term)
+        dag_nodes = A.dag_size(base_term)
+        name = f"incremental/edit_replay/{target}"
+        progress(f"  {name}: {nodes} nodes, {edits} edits")
+
+        memo = JudgementMemo(max(65_536, 4 * nodes))
+        # Keep every replayed term alive: canonical interned nodes are
+        # weakly referenced, and the memo keys on their (never-reused)
+        # intern ids — dropping a term would turn reuse into re-interning.
+        alive = [base_term]
+
+        start = time.perf_counter()
+        infer(base_term, skeleton, config, memo=memo)
+        cold_seconds = time.perf_counter() - start
+
+        edit_seconds: List[float] = []
+        intern_seconds: List[float] = []
+        hit_rates: List[float] = []
+        for edit_index in range(edits):
+            leaf = (edit_index * 2654435761 + 17) % leaves
+            if leaf % 16 == 15:
+                leaf = (leaf + 1) % leaves
+            edited, _ = balanced_rnd_tree_term(
+                leaves, edit=(leaf, _Fraction(99_991 + edit_index, 13))
+            )
+            start = time.perf_counter()
+            edited = A.intern_term(edited)
+            intern_seconds.append(time.perf_counter() - start)
+            alive.append(edited)
+
+            hits_before, puts_before = memo.hits, memo.puts
+            start = time.perf_counter()
+            infer(edited, skeleton, config, memo=memo)
+            edit_seconds.append(time.perf_counter() - start)
+            lookups = (memo.hits - hits_before) + (memo.puts - puts_before)
+            hit_rates.append((memo.hits - hits_before) / lookups if lookups else 0.0)
+
+        full_seconds = _best_of(
+            lambda: infer(alive[-1], skeleton, config, memo=False), 1
+        )
+        results.append(
+            {
+                "name": name,
+                "category": "incremental",
+                "family": "edit_replay",
+                "parameter": leaves,
+                "nodes": nodes,
+                "tree_nodes": nodes,
+                "dag_nodes": dag_nodes,
+                "edits": edits,
+                #: Mean warm per-edit inference time — the headline number
+                #: (and what the baseline gate watches).
+                "seconds": sum(edit_seconds) / len(edit_seconds),
+                "cold_seconds": cold_seconds,
+                "full_seconds": full_seconds,
+                "intern_seconds": sum(intern_seconds) / len(intern_seconds),
+                "speedup": (
+                    full_seconds / (sum(edit_seconds) / len(edit_seconds))
+                    if edit_seconds
+                    else None
+                ),
+                "memo_hit_rate": sum(hit_rates) / len(hit_rates),
+                "legacy_seconds": None,
+                "repeats": edits,
+            }
+        )
     return results
 
 
@@ -311,6 +462,12 @@ def run_suite(
     benchmarks = _inference_benchmarks(
         node_targets, family_names, include_legacy, quick, progress
     )
+    if families is None:
+        # The edit-replay rows ride every default suite run (including the
+        # CI quick gate); an explicit --families selection opts out, since
+        # it names inference families only.
+        progress("incremental edit replay:")
+        benchmarks.extend(_incremental_benchmarks(node_targets, quick, progress))
     progress("algebra / exactmath:")
     benchmarks.extend(_algebra_benchmarks(include_legacy, quick, progress))
 
@@ -322,7 +479,10 @@ def run_suite(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "engines": {
-            "current": "repro.core.inference (iterative, interned grades, persistent contexts)",
+            "current": (
+                "repro.core.inference (iterative, interned grades, persistent "
+                "contexts, DAG-memoized judgements)"
+            ),
             "legacy": "repro.perf.reference (seed: recursive walk, dict contexts)",
         },
         "sizes": node_targets,
@@ -409,24 +569,46 @@ def compare_with_baseline(
 
 
 def render_report(report: Dict[str, object]) -> str:
-    """Human-readable table of one suite run."""
+    """Human-readable table of one suite run.
+
+    The ``tree/dag`` column distinguishes tree node count (occurrences, the
+    non-memoized engine's work) from distinct interned node count (the
+    judgements DAG-memoized inference computes); sharing-free rows show one
+    number.  ``memo`` is the memoized-vs-unmemoized speedup for shared
+    rows, and the full-vs-incremental speedup for edit-replay rows.
+    """
     lines = [
         f"repro perf ({'quick' if report.get('quick') else 'full'}) — "
         f"python {report.get('python')}"
     ]
-    header = f"{'benchmark':<34} {'nodes':>8} {'current':>12} {'legacy':>12} {'speedup':>8}"
+    header = (
+        f"{'benchmark':<34} {'tree/dag':>13} {'current':>12} {'legacy':>12} "
+        f"{'speedup':>8} {'memo':>8}"
+    )
     lines.append(header)
     lines.append("-" * len(header))
     for entry in report.get("benchmarks", []):
         nodes = entry.get("nodes")
+        dag_nodes = entry.get("dag_nodes")
+        if nodes is None:
+            nodes_cell = "-"
+        elif dag_nodes is not None and dag_nodes != nodes:
+            nodes_cell = f"{nodes}/{dag_nodes}"
+        else:
+            nodes_cell = str(nodes)
         legacy = entry.get("legacy_seconds")
         speedup = entry.get("speedup")
+        memo_speedup = entry.get("memo_speedup")
+        if memo_speedup is None and entry.get("category") == "incremental":
+            memo_speedup = entry.get("speedup")
+            speedup = None
         lines.append(
             f"{entry['name']:<34} "
-            f"{nodes if nodes is not None else '-':>8} "
+            f"{nodes_cell:>13} "
             f"{entry['seconds'] * 1e3:>10.2f}ms "
             f"{(legacy * 1e3 if legacy else float('nan')):>10.2f}ms "
-            f"{(f'{speedup:.1f}x' if speedup else '-'):>8}"
+            f"{(f'{speedup:.1f}x' if speedup else '-'):>8} "
+            f"{(f'{memo_speedup:.1f}x' if memo_speedup else '-'):>8}"
         )
     return "\n".join(lines)
 

@@ -9,6 +9,12 @@ harness asks for a *node count* target (``10^3 .. 10^5``) and
 measuring the family's nodes-per-parameter density on a probe instance —
 families grow linearly in their parameter, so the conversion is exact up to
 rounding.
+
+The ``dag_*`` families are the shared-subterm shapes: their *tree* node
+count (what the non-memoized engine walks) is a large multiple of their
+*distinct* interned node count (what DAG-memoized inference computes), so
+they measure the tree-cost → DAG-cost speedup.  ``instantiate`` reports
+both counts for every family.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from typing import Callable, Dict, Tuple
 
 from ..benchsuite.large import (
     conditional_ladder_term,
+    dag_cascade_term,
+    dag_fanout_term,
     dot_product_expression,
     horner_fma_expression,
     mixed_chain_expression,
@@ -41,11 +49,17 @@ class Family:
     description: str
     min_parameter: int = 2
 
-    def instantiate(self, parameter: int) -> Tuple[A.Term, Dict[str, Type], int]:
-        """Build ``(term, skeleton, node_count)`` at ``parameter``."""
+    def instantiate(self, parameter: int) -> Tuple[A.Term, Dict[str, Type], int, int]:
+        """Build ``(term, skeleton, tree_nodes, dag_nodes)`` at ``parameter``.
+
+        ``tree_nodes`` counts every occurrence (the work a non-memoized
+        walk does); ``dag_nodes`` counts distinct interned nodes (the
+        judgements DAG-memoized inference computes).  They coincide for
+        the sharing-free families.
+        """
         term, skeleton = self.build(max(parameter, self.min_parameter))
         term = A.intern_term(term)
-        return term, skeleton, A.term_size(term)
+        return term, skeleton, A.tree_size(term), A.dag_size(term)
 
 
 def _from_expression(expression) -> Tuple[A.Term, Dict[str, Type]]:
@@ -103,17 +117,29 @@ FAMILIES: Dict[str, Family] = {
             "alternating add/mul accumulation chain: interleaves the max- and "
             "sum-metric context combinations on one spine",
         ),
+        Family(
+            "dag_fanout",
+            dag_fanout_term,
+            "shared-subterm fan-out: n sequenced references to one interned "
+            "arithmetic block, so tree cost is ~block-size times DAG cost",
+        ),
+        Family(
+            "dag_cascade",
+            dag_cascade_term,
+            "two-level sharing: a shared inner block inside a shared middle "
+            "chain, so judgement-memo hits cascade across levels",
+        ),
     )
 }
 
 
-def build_family(name: str, parameter: int) -> Tuple[A.Term, Dict[str, Type], int]:
+def build_family(name: str, parameter: int) -> Tuple[A.Term, Dict[str, Type], int, int]:
     return FAMILIES[name].instantiate(parameter)
 
 
 def parameter_for_nodes(name: str, target_nodes: int, probe_parameter: int = 64) -> int:
-    """The family parameter whose instance has roughly ``target_nodes`` nodes."""
+    """The family parameter whose instance has roughly ``target_nodes`` *tree* nodes."""
     family = FAMILIES[name]
-    _, _, probe_nodes = family.instantiate(probe_parameter)
+    _, _, probe_nodes, _ = family.instantiate(probe_parameter)
     per_parameter = max(probe_nodes / max(probe_parameter, 1), 1e-9)
     return max(family.min_parameter, round(target_nodes / per_parameter))

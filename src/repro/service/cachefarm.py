@@ -62,11 +62,17 @@ class CacheFarm:
         shards: int = DEFAULT_SHARDS,
         entries_per_shard: int = DEFAULT_SHARD_ENTRIES,
         disk: Optional[AnalysisCache] = None,
+        judgement_memo=None,
     ) -> None:
         if shards < 1:
             raise ValueError("a cache farm needs at least one shard")
         self.disk = disk
         self.disk_hits = 0
+        # The subterm-judgement memo is not a farm tier (it caches *inside*
+        # an inference, keyed per interned subterm, while the shards cache
+        # whole reports keyed per request) — but it is part of the same
+        # caching story, so the farm carries it for unified reporting.
+        self.judgement_memo = judgement_memo
         # Farm-global counters mutate from executor threads too.
         self._stats_lock = threading.Lock()
         self._shards: List[_Shard] = [_Shard(entries_per_shard) for _ in range(shards)]
@@ -156,4 +162,6 @@ class CacheFarm:
                 "entries": disk_entries,
                 "bytes": disk_bytes,
             }
+        if self.judgement_memo is not None:
+            report["judgement_memo"] = self.judgement_memo.stats()
         return report

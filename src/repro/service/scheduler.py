@@ -96,13 +96,19 @@ class Scheduler:
         queue_size: int = 256,
         workers: Optional[int] = None,
         parse_cache: Optional["AnalysisCache"] = None,
+        judgement_memo=None,
     ) -> None:
         self.pool = pool or PoolHandle(1)
         # With a thread-mode pool (jobs=1) the worker runs in-process, so
         # it can share the service's (lock-guarded) parse memo and skip
         # re-parsing sources the admission path already parsed for key
         # normalization.  Process pools get None: the memo doesn't travel.
+        # The judgement memo follows the same rule: in-process it carries
+        # subterm judgements *across requests* (corpus-wide common
+        # subexpressions infer once per server lifetime); a process pool
+        # cannot share it.
         self.parse_cache = parse_cache if self.pool.jobs == 1 else None
+        self.judgement_memo = judgement_memo if self.pool.jobs == 1 else None
         # One puller per executor worker: more would only queue inside the
         # executor where deadlines can no longer be honoured.
         self.workers = max(1, workers if workers is not None else self.pool.jobs)
@@ -194,7 +200,11 @@ class Scheduler:
                     # gets cached either way.
                     report = await asyncio.wrap_future(
                         self.pool.submit(
-                            analyze_item, job.item, job.config, self.parse_cache
+                            analyze_item,
+                            job.item,
+                            job.config,
+                            self.parse_cache,
+                            self.judgement_memo,
                         )
                     )
                 except Exception as error:  # pragma: no cover - defensive

@@ -54,10 +54,17 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from ..analysis.batch import BatchItem, PoolHandle
-from ..analysis.cache import AnalysisCache, config_key, make_key, source_key, term_key
+from ..analysis.cache import (
+    AnalysisCache,
+    config_key,
+    make_key,
+    memo_report,
+    source_key,
+    term_key,
+)
 from ..core import ast as A
 from ..core.errors import LnumError
-from ..core.inference import InferenceConfig
+from ..core.inference import InferenceConfig, JudgementMemo
 from .cachefarm import CacheFarm, DEFAULT_SHARD_ENTRIES, DEFAULT_SHARDS
 from .scheduler import (
     PRIORITY_NAMES,
@@ -92,6 +99,10 @@ class ServiceConfig:
     cache_dir: Optional[str] = None  # None: memory-only (no disk tier)
     default_deadline_seconds: Optional[float] = 60.0
     inference: Optional[InferenceConfig] = None
+    #: Bound of the cross-request subterm-judgement memo (0 disables).
+    #: Only effective with ``jobs=1`` (in-process inference): a process
+    #: pool cannot share in-memory judgements.
+    judgement_memo_entries: int = 65_536
 
 
 class AnalysisService:
@@ -108,16 +119,26 @@ class AnalysisService:
         self._analysis_cache = AnalysisCache(
             directory=self.config.cache_dir, memory_entries=8
         )
+        # Cross-request judgement memo: subterms shared between *different*
+        # programs (Horner steps, FMA patterns, a corpus's common helper
+        # functions) are inferred once per server lifetime.  In-process
+        # inference only — a process pool cannot share it — and bounded,
+        # like every other long-lived table in this process.
+        self.judgement_memo: Optional[JudgementMemo] = None
+        if self.config.jobs == 1 and self.config.judgement_memo_entries > 0:
+            self.judgement_memo = JudgementMemo(self.config.judgement_memo_entries)
         self.farm = CacheFarm(
             shards=self.config.shards,
             entries_per_shard=self.config.shard_entries,
             disk=self._analysis_cache if self.config.cache_dir else None,
+            judgement_memo=self.judgement_memo,
         )
         self.pool = PoolHandle(self.config.jobs)
         self.scheduler = Scheduler(
             pool=self.pool,
             queue_size=self.config.queue_size,
             parse_cache=self._analysis_cache,
+            judgement_memo=self.judgement_memo,
         )
         self._inflight: Dict[str, Job] = {}
         self.counters: Dict[str, int] = {
@@ -457,6 +478,10 @@ class AnalysisService:
             "cache": self.farm.stats(),
             "parse_cache": self._analysis_cache.parse_stats.to_dict(),
             "scheduler": self.scheduler.stats(),
+            # Process-wide bounded memos (grade add/mul LRUs, intern
+            # tables, fingerprint/free-variable memos, exactmath caches):
+            # occupancy vs. caps, so a long-lived server is observable.
+            "memos": memo_report(),
         }
 
 

@@ -349,7 +349,7 @@ class TestIterativeEngineAtScale:
         from repro.perf.reference import reference_infer
 
         for name, family in FAMILIES.items():
-            term, skeleton, _nodes = family.instantiate(24)
+            term, skeleton, _nodes, _dag = family.instantiate(24)
             result = infer(term, skeleton)
             reference_ctx, reference_ty = reference_infer(term, skeleton)
             assert result.type == reference_ty, name

@@ -1,0 +1,272 @@
+"""DAG-memoized inference and incremental reanalysis.
+
+Property tests: memoized inference (per-call auto memo, explicit shared
+memo) must produce judgements identical to the fresh engine on randomized
+terms with forced sharing, and incremental reanalysis after a random
+single-site edit must match from-scratch analysis.  Plus unit coverage of
+the memo bookkeeping itself (bounds, stats, free-variable cap opt-out).
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.cache import memo_report
+from repro.analysis.incremental import IncrementalAnalyzer
+from repro.benchsuite.large import (
+    balanced_rnd_tree_term,
+    dag_cascade_term,
+    dag_fanout_term,
+    shared_block_term,
+)
+from repro.core import ast as A
+from repro.core import types as T
+from repro.core.grades import grade_memo_stats
+from repro.core.inference import InferenceConfig, JudgementMemo, infer
+
+
+def assert_same_judgement(left, right):
+    assert left.type == right.type
+    assert left.context.as_dict() == right.context.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Randomized terms with forced sharing
+# ---------------------------------------------------------------------------
+
+
+def random_shared_term(rng: random.Random, size: int = 12):
+    """A random Λnum term that deliberately reuses subterm objects.
+
+    Grows a pool of candidate computations (rounded ops over ``x``/``y``
+    and earlier pool entries spliced through let-binds) and picks children
+    *from the pool*, so the same object lands in several positions; after
+    interning, those positions are pointer-identical shared subterms.
+    """
+    # ``monadic`` entries have type M[u]num (legal as let-bind values);
+    # ``pool`` additionally holds pair shapes (legal as pair children).
+    monadic = [A.Rnd(A.Var("x")), A.Rnd(A.Var("y")), A.Rnd(A.Const(Fraction(3, 7)))]
+    pool = list(monadic)
+    for index in range(size):
+        kind = rng.randrange(4)
+        if kind == 0:
+            node = A.WithPair(rng.choice(pool), rng.choice(pool))
+        elif kind == 1:
+            node = A.TensorPair(rng.choice(pool), rng.choice(pool))
+        elif kind == 2:
+            node = A.LetBind(
+                f"v{index}",
+                rng.choice(monadic),
+                A.Rnd(A.Op("add", A.WithPair(A.Var(f"v{index}"), A.Var("x")))),
+            )
+            monadic.append(node)
+        else:
+            node = A.LetBind(
+                f"v{index}",
+                rng.choice(monadic),
+                A.LetBind(
+                    f"w{index}",
+                    rng.choice(monadic),
+                    A.Rnd(
+                        A.Op("mul", A.TensorPair(A.Var(f"v{index}"), A.Var(f"w{index}")))
+                    ),
+                ),
+            )
+            monadic.append(node)
+        pool.append(node)
+    # A final pair over two pool picks maximizes the chance of overlap.
+    return A.intern_term(A.WithPair(rng.choice(pool), pool[-1]))
+
+
+SKELETON = {"x": T.NUM, "y": T.NUM}
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_memoized_matches_fresh_on_random_shared_terms(seed):
+    rng = random.Random(seed)
+    term = random_shared_term(rng)
+    fresh = infer(term, SKELETON, memo=False)
+    auto = infer(term, SKELETON)  # per-call memo, auto-enabled on sharing
+    shared = JudgementMemo()
+    first = infer(term, SKELETON, memo=shared)
+    second = infer(term, SKELETON, memo=shared)  # warm: pure reuse
+    for result in (auto, first, second):
+        assert_same_judgement(fresh, result)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_shared_memo_agrees_across_different_terms(seed):
+    # One memo serving many terms must never leak a judgement into the
+    # wrong position: every term still matches its fresh analysis.
+    rng = random.Random(1000 + seed)
+    shared = JudgementMemo()
+    for _ in range(5):
+        term = random_shared_term(rng, size=8)
+        assert_same_judgement(
+            infer(term, SKELETON, memo=False), infer(term, SKELETON, memo=shared)
+        )
+    assert shared.hits > 0  # the pools overlap by construction
+
+
+@pytest.mark.parametrize("builder", [dag_fanout_term, dag_cascade_term])
+def test_dag_families_memoized_matches_fresh(builder):
+    term, skeleton = builder(24)
+    term = A.intern_term(term)
+    assert A.dag_size(term) * 2 < A.tree_size(term)
+    assert_same_judgement(infer(term, skeleton, memo=False), infer(term, skeleton))
+
+
+def test_memo_respects_configuration():
+    # Same term, different rnd grades: the config fingerprint in the key
+    # must keep the judgements apart even in one shared memo.
+    term, skeleton = dag_fanout_term(8)
+    term = A.intern_term(term)
+    shared = JudgementMemo()
+    default = infer(term, skeleton, memo=shared)
+    doubled_config = InferenceConfig().with_rnd_grade("2*eps")
+    doubled = infer(term, skeleton, doubled_config, memo=shared)
+    assert default.type != doubled.type
+    assert_same_judgement(infer(term, skeleton, doubled_config, memo=False), doubled)
+
+
+def test_memo_distinguishes_skeleton_types():
+    # x : num vs x : !-typed — the skeleton slice is part of the key.
+    term = A.intern_term(A.Rnd(A.Op("add", A.WithPair(A.Var("x"), A.Var("x")))))
+    shared = JudgementMemo()
+    as_num = infer(term, {"x": T.NUM}, memo=shared)
+    with pytest.raises(Exception):
+        infer(term, {"x": T.Bang(2, T.NUM)}, memo=shared)
+    assert_same_judgement(infer(term, {"x": T.NUM}, memo=False), as_num)
+
+
+# ---------------------------------------------------------------------------
+# Incremental reanalysis
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_incremental_single_site_edit_matches_scratch(seed):
+    rng = random.Random(2000 + seed)
+    leaves = rng.choice([33, 64, 127])
+    base, skeleton = balanced_rnd_tree_term(leaves)
+    session = IncrementalAnalyzer()
+    session.analyze_term(A.intern_term(base), skeleton)
+
+    edit_leaf = rng.randrange(leaves)
+    edited, _ = balanced_rnd_tree_term(
+        leaves, edit=(edit_leaf, Fraction(rng.randrange(1, 10_000), 13))
+    )
+    edited = A.intern_term(edited)
+    incremental = session.analyze_term(edited, skeleton)
+    scratch = infer(edited, skeleton, memo=False)
+    analysis = incremental.analysis
+    assert analysis.result_type == scratch.type
+    assert analysis.context.as_dict() == scratch.context.as_dict()
+    if edit_leaf % 16 != 15:  # editing a literal leaf actually changes the term
+        assert incremental.stats.reused_judgements > 0
+
+
+def test_incremental_source_reanalysis_reuses_judgements():
+    shared_body = (
+        "  let [x1] = x;\n"
+        "  a = mul (x1, x1);\n"
+        "  b = add (|a, x1|);\n"
+        "  rnd b\n"
+    )
+    source_a = "function F (x: ![3]num) : M[eps]num {\n" + shared_body + "}\n"
+    source_b = "function G (x: ![3]num) : M[eps]num {\n" + shared_body + "}\n"
+    session = IncrementalAnalyzer()
+    cold = session.analyze_source(source_a)
+    assert cold.stats.computed_judgements > 0
+    # Replaying the identical source is pure reuse: the retained interned
+    # root makes the whole definition a single root-level hit.
+    replay = session.analyze_source(source_a)
+    assert replay.stats.computed_judgements == 0
+    assert replay.stats.reused_judgements >= 1
+
+    warm = session.analyze_source(source_b)
+    assert warm.stats.reused_judgements > 0
+    # Identical body, new name: the body is (at least) one subtree-level
+    # hit, so the warm run recomputes strictly less than the cold one.
+    # (The exact wrapper-node count depends on what other tests have
+    # interned in this process, so the bound is relative, not absolute.)
+    assert warm.stats.computed_judgements < cold.stats.computed_judgements
+    assert str(warm.analysis.error_grade) == str(cold.analysis.error_grade)
+
+
+def test_incremental_edit_cost_is_spine_sized():
+    base, skeleton = balanced_rnd_tree_term(256)
+    session = IncrementalAnalyzer()
+    session.analyze_term(A.intern_term(base), skeleton)
+    edited, _ = balanced_rnd_tree_term(256, edit=(100, Fraction(123456, 7)))
+    report = session.analyze_term(A.intern_term(edited), skeleton)
+    # The changed spine of a 256-leaf balanced tree is ~log2(256) pairs.
+    assert report.stats.computed_judgements <= 24
+    assert report.stats.reused_judgements >= 4
+
+
+# ---------------------------------------------------------------------------
+# Memo bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def test_judgement_memo_is_bounded():
+    term, skeleton = dag_fanout_term(64, block_operations=4)
+    term = A.intern_term(term)
+    tiny = JudgementMemo(capacity=8)
+    infer(term, skeleton, memo=tiny)
+    assert len(tiny) <= 8
+    assert tiny.evictions > 0
+    stats = tiny.stats()
+    assert stats["capacity"] == 8 and stats["entries"] <= 8
+
+
+def test_free_variable_cap_opts_out_but_stays_correct():
+    # A term whose spine nodes reference more variables than the cap:
+    # those nodes skip the memo, yet results must be unchanged.
+    wide = A.Rnd(A.Var("v0"))
+    names = ["v0"]
+    for index in range(1, A.FREE_VARIABLE_CAP + 8):
+        names.append(f"v{index}")
+        wide = A.WithPair(wide, A.Rnd(A.Var(f"v{index}")))
+    term = A.intern_term(A.WithPair(wide, wide))  # force sharing at the top
+    skeleton = {name: T.NUM for name in names}
+    assert A.term_free_variables(term) is None  # over the cap
+    assert_same_judgement(
+        infer(term, skeleton, memo=False),
+        infer(term, skeleton, memo=JudgementMemo()),
+    )
+
+
+def test_term_free_variables_matches_reference():
+    rng = random.Random(7)
+    for _ in range(10):
+        term = random_shared_term(rng, size=6)
+        capped = A.term_free_variables(term)
+        full = A.free_variables(term)
+        if capped is not None:
+            assert capped == frozenset(full)
+        else:
+            assert len(full) > A.FREE_VARIABLE_CAP
+
+
+def test_tree_and_dag_sizes():
+    block = shared_block_term(4)
+    term = A.intern_term(A.WithPair(block, block))
+    assert A.tree_size(term) == A.term_size(term)
+    assert A.dag_size(term) < A.tree_size(term)
+    # Un-interned terms work too (no memo, same values).
+    plain = A.WithPair(A.Rnd(A.Var("x")), A.Rnd(A.Var("x")))
+    assert A.tree_size(plain) == A.term_size(plain) == 5
+    assert A.dag_size(plain) == 5  # distinct objects, no interning
+
+
+def test_memo_stats_surfaces():
+    report = memo_report()
+    assert {"intern_table", "fingerprints", "free_variables"} <= set(report["ast"])
+    grades = grade_memo_stats()
+    assert grades["add"]["capacity"] == 16384
+    assert grades["mul"]["capacity"] == 16384
+    assert report["grades"]["add"]["entries"] <= grades["add"]["capacity"]
+    assert "exactmath" in report

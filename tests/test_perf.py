@@ -33,12 +33,14 @@ class TestFamilies:
             "dot_product",
             "conditional_ladder",
             "mixed_chain",
+            "dag_fanout",
+            "dag_cascade",
         } == set(FAMILIES)
 
     @pytest.mark.parametrize("name", sorted(FAMILIES))
     def test_families_scale_linearly(self, name):
-        _, _, small = build_family(name, 16)
-        _, _, large = build_family(name, 64)
+        _, _, small, _ = build_family(name, 16)
+        _, _, large, _ = build_family(name, 64)
         assert large > small
         density_small = small / 16
         density_large = large / 64
@@ -47,14 +49,28 @@ class TestFamilies:
     @pytest.mark.parametrize("name", sorted(FAMILIES))
     def test_parameter_for_nodes_hits_target(self, name):
         parameter = parameter_for_nodes(name, 2_000)
-        _, _, nodes = build_family(name, parameter)
+        _, _, nodes, _ = build_family(name, parameter)
         assert 1_500 <= nodes <= 2_500
 
     @pytest.mark.parametrize("name", sorted(FAMILIES))
     def test_families_infer(self, name):
-        term, skeleton, _ = build_family(name, 12)
+        term, skeleton, _, _ = build_family(name, 12)
         result = infer(term, skeleton)
         assert isinstance(result.type, T.Monadic)
+
+    @pytest.mark.parametrize("name", ["dag_fanout", "dag_cascade"])
+    def test_dag_families_share_subterms(self, name):
+        _, _, tree, dag = build_family(name, 32)
+        assert dag * 3 < tree  # heavy sharing is the family's whole point
+
+    @pytest.mark.parametrize(
+        "name", ["serial_sum", "dot_product", "conditional_ladder"]
+    )
+    def test_spine_families_report_matching_counts(self, name):
+        # Sharing-free shapes: tree and DAG counts agree (up to leaf
+        # collapse of repeated constants/variables).
+        _, _, tree, dag = build_family(name, 32)
+        assert dag <= tree <= dag * 1.2
 
     def test_conditional_ladder_structure(self):
         term, skeleton = conditional_ladder_term(10)
@@ -80,7 +96,7 @@ class TestFamilies:
 class TestReferenceEngine:
     @pytest.mark.parametrize("name", sorted(FAMILIES))
     def test_agrees_with_iterative_engine(self, name):
-        term, skeleton, _ = build_family(name, 20)
+        term, skeleton, _, _ = build_family(name, 20)
         result = infer(term, skeleton)
         reference_ctx, reference_ty = reference_infer(term, skeleton)
         assert result.type == reference_ty
@@ -143,6 +159,39 @@ class TestHarness:
     def test_unknown_family_rejected(self):
         with pytest.raises(ValueError, match="unknown inference families"):
             run_suite(families=["no_such_family"], sizes=[100])
+
+    def test_dag_and_incremental_rows(self):
+        report = run_suite(quick=True, include_legacy=False, sizes=[400])
+        by_name = {entry["name"]: entry for entry in report["benchmarks"]}
+
+        fanout = by_name["infer/dag_fanout/400"]
+        assert fanout["dag_nodes"] < fanout["tree_nodes"] == fanout["nodes"]
+        assert fanout["nomemo_seconds"] > 0
+        assert fanout["memo_speedup"] == pytest.approx(
+            fanout["nomemo_seconds"] / fanout["seconds"]
+        )
+        assert fanout["memo_hits"] > 0
+        assert 0 < fanout["memo_hit_rate"] <= 1
+
+        spine = by_name["infer/serial_sum/400"]
+        assert spine["tree_nodes"] == spine["dag_nodes"] == spine["nodes"]
+        assert "nomemo_seconds" not in spine  # sharing-free: nothing to compare
+
+        replay = by_name["incremental/edit_replay/400"]
+        assert replay["category"] == "incremental"
+        assert replay["edits"] > 0
+        assert replay["full_seconds"] > 0 and replay["cold_seconds"] > 0
+        assert 0 < replay["memo_hit_rate"] <= 1
+        assert replay["speedup"] == pytest.approx(
+            replay["full_seconds"] / replay["seconds"]
+        )
+
+    def test_explicit_family_selection_skips_edit_replay(self):
+        report = run_suite(
+            quick=True, include_legacy=False, families=["serial_sum"], sizes=[200]
+        )
+        names = [entry["name"] for entry in report["benchmarks"]]
+        assert not any(name.startswith("incremental/") for name in names)
 
 
 class TestBaselineGate:

@@ -229,12 +229,12 @@ class TestScheduler:
         # and the worker keeps serving afterwards.
         import time as time_module
 
-        def slow_then_fast(item, config, cache):
+        def slow_then_fast(item, config, cache, memo=None):
             if item.name == "slow":
                 time_module.sleep(0.3)
             from repro.analysis.batch import _analyze_item
 
-            return _analyze_item(item, config, cache)
+            return _analyze_item(item, config, cache, memo)
 
         monkeypatch.setattr(
             "repro.service.scheduler.analyze_item", slow_then_fast
@@ -393,6 +393,47 @@ class TestAnalysisService:
             await service.stop()
 
         run(scenario())
+
+    def test_shared_subexpressions_hit_the_judgement_memo_across_requests(self):
+        # Two *different* programs with a common body: distinct request
+        # keys (no farm hit, two inferences), but the second inference
+        # reuses the first one's subterm judgements through the shared
+        # cross-request memo — and /stats makes that observable.
+        shared_body = (
+            "  let [x1] = x;\n"
+            "  a = mul (x1, x1);\n"
+            "  b = add (|a, x1|);\n"
+            "  rnd b\n"
+        )
+        source_a = "function SqA (x: ![3]num) : M[eps]num {\n" + shared_body + "}\n"
+        source_b = "function SqB (x: ![3]num) : M[eps]num {\n" + shared_body + "}\n"
+
+        async def scenario():
+            service = await make_service()
+            first = await service.handle({"op": "analyze", "source": source_a})
+            hits_after_first = service.judgement_memo.hits
+            second = await service.handle({"op": "analyze", "source": source_b})
+            assert first["status"] == second["status"] == "ok"
+            assert not second["cached"]
+            assert service.counters["inferences"] == 2
+            assert service.judgement_memo.hits > hits_after_first
+            stats = service.stats()
+            memo_block = stats["cache"]["judgement_memo"]
+            assert memo_block["hits"] >= 1
+            assert memo_block["entries"] <= memo_block["capacity"]
+            # The process-wide memo occupancy report rides along.
+            assert {"ast", "grades"} <= set(stats["memos"])
+            await service.stop()
+
+        run(scenario())
+
+    def test_process_pool_service_disables_the_shared_memo(self):
+        # jobs>1 runs inference in worker processes: the in-memory memo
+        # cannot travel, so the service must not pretend it exists.
+        service = AnalysisService(ServiceConfig(jobs=2))
+        assert service.judgement_memo is None
+        assert service.scheduler.judgement_memo is None
+        assert "judgement_memo" not in service.farm.stats()
 
     def test_worker_reuses_the_admission_parse(self):
         async def scenario():
@@ -563,9 +604,9 @@ class TestAnalysisService:
 
         from repro.analysis.batch import _analyze_item
 
-        def slow(item, config, cache):
+        def slow(item, config, cache, memo=None):
             time_module.sleep(0.25)
-            return _analyze_item(item, config, cache)
+            return _analyze_item(item, config, cache, memo)
 
         monkeypatch.setattr("repro.service.scheduler.analyze_item", slow)
 
