@@ -163,6 +163,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="bypass the server-side result cache"
     )
     query.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the differential soundness harness instead of plain analysis",
+    )
+    query.add_argument(
+        "--samples", type=int, default=64, help="stochastic samples (with --validate)"
+    )
+    query.add_argument(
+        "--points", type=int, default=4, help="input points (with --validate)"
+    )
+    query.add_argument(
+        "--seed", type=int, default=0, help="sampling seed (with --validate)"
+    )
+    query.add_argument(
         "--json", action="store_true", help="print raw JSON responses"
     )
     query.add_argument(
@@ -173,18 +187,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     validate = subparsers.add_parser(
-        "validate", help="run the ideal and FP semantics and check the inferred bound"
+        "validate",
+        help="differential soundness validation: inference vs baselines vs execution",
     )
-    validate.add_argument("path", help="path to the program, or '-' for stdin")
+    validate.add_argument(
+        "paths",
+        nargs="*",
+        help="program files or directories (.lnum/.fpcore); see also --suite",
+    )
+    validate.add_argument(
+        "--suite",
+        action="append",
+        default=[],
+        choices=["examples", "table3", "table4", "table5", "all"],
+        help="also validate a benchmark suite (repeatable)",
+    )
+    validate.add_argument(
+        "--samples",
+        type=int,
+        default=64,
+        help="stochastic-rounding executions per program (default 64)",
+    )
+    validate.add_argument(
+        "--points",
+        type=int,
+        default=4,
+        help="input points sampled per program (default 4)",
+    )
+    validate.add_argument("--seed", type=int, default=0, help="sampling seed")
+    validate.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the execution fan-out (default 1)",
+    )
+    validate.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON report"
+    )
+    validate.add_argument(
+        "--no-cache", action="store_true", help="disable the content-keyed result cache"
+    )
+    validate.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro-lnum)",
+    )
+    validate.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write a BENCH_validation.json-style report with tightness ratios",
+    )
+    validate.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="gate verdicts and tightness ratios against a checked-in report",
+    )
+    validate.add_argument(
+        "--max-loosening",
+        type=float,
+        default=4.0,
+        metavar="RATIO",
+        help="baseline-gate tolerance for shrinking tightness ratios (default 4.0)",
+    )
+    validate.add_argument(
+        "--full", action="store_true", help="include MatrixMultiply128 in --suite table4"
+    )
     validate.add_argument(
         "-i",
         "--input",
         action="append",
         default=[],
         metavar="NAME=VALUE",
-        help="input assignment (repeatable); values are exact rationals or decimals",
+        help="single-program mode: check Corollary 4.20 on this exact input "
+        "(repeatable); values are exact rationals or decimals",
     )
-    validate.add_argument("-f", "--function", help="analyse this function's body")
+    validate.add_argument(
+        "-f", "--function", help="only validate this function (single-program mode: "
+        "analyse this function's body)"
+    )
     _add_instantiation_arguments(validate)
 
     return parser
@@ -404,7 +488,12 @@ def _command_query(arguments: argparse.Namespace) -> int:
     import os
 
     from .analysis.batch import SOURCE_SUFFIXES
-    from .service.client import ServiceClient, ServiceError, render_report
+    from .service.client import (
+        ServiceClient,
+        ServiceError,
+        render_report,
+        render_validation,
+    )
 
     if not arguments.paths and not (arguments.stats or arguments.shutdown):
         raise SystemExit("repro query: give program paths and/or --stats/--shutdown")
@@ -425,14 +514,27 @@ def _command_query(arguments: argparse.Namespace) -> int:
                     os.path.splitext(path)[1].lower(), "lnum"
                 )
                 try:
-                    response = client.analyze(
-                        source,
-                        kind=kind,
-                        name=path,
-                        priority=arguments.priority,
-                        deadline_ms=arguments.deadline_ms,
-                        no_cache=arguments.no_cache,
-                    )
+                    if arguments.validate:
+                        response = client.validate(
+                            source,
+                            kind=kind,
+                            name=path,
+                            samples=arguments.samples,
+                            points=arguments.points,
+                            seed=arguments.seed,
+                            priority=arguments.priority,
+                            deadline_ms=arguments.deadline_ms,
+                            no_cache=arguments.no_cache,
+                        )
+                    else:
+                        response = client.analyze(
+                            source,
+                            kind=kind,
+                            name=path,
+                            priority=arguments.priority,
+                            deadline_ms=arguments.deadline_ms,
+                            no_cache=arguments.no_cache,
+                        )
                 except ServiceError as error:
                     status = (error.response or {}).get("status", "transport")
                     print(f"error: {path}: {status}: {error}", file=sys.stderr)
@@ -440,11 +542,16 @@ def _command_query(arguments: argparse.Namespace) -> int:
                     continue
                 if arguments.json:
                     print(json.dumps(response, indent=2, sort_keys=True))
+                elif arguments.validate:
+                    print(render_validation(response))
+                    print()
                 else:
                     print(render_report(response))
                     print()
                 if not response["report"]["ok"]:
                     exit_code = max(exit_code, 2)
+                elif arguments.validate and response["report"]["verdict"] == "violation":
+                    exit_code = max(exit_code, 1)
             if arguments.stats:
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
             if arguments.shutdown:
@@ -456,7 +563,112 @@ def _command_query(arguments: argparse.Namespace) -> int:
 
 
 def _command_validate(arguments: argparse.Namespace) -> int:
-    source = _read_source(arguments.path)
+    if arguments.input:
+        return _command_validate_single(arguments)
+    return _command_validate_corpus(arguments)
+
+
+def _command_validate_corpus(arguments: argparse.Namespace) -> int:
+    """Differential validation over programs and/or benchmark suites."""
+    import json
+
+    from .analysis.batch import BatchItem, discover_items
+    from .validation import bench as validation_bench
+    from .validation.harness import (
+        ValidationEngine,
+        ValidationOptions,
+        subjects_or_failures,
+    )
+
+    if not arguments.paths and not arguments.suite:
+        raise SystemExit(
+            "repro validate: give program paths, a --suite, or -i inputs "
+            "for the single-program check"
+        )
+    if arguments.nearest:
+        raise SystemExit(
+            "repro validate: --nearest applies to the single-input mode only; "
+            "the differential harness compares directed, nearest and stochastic "
+            "executions against directed-roundoff bounds"
+        )
+    config = _config_from_arguments(arguments)
+    fmt = STANDARD_FORMATS[arguments.format]
+    try:
+        options = ValidationOptions(
+            points=arguments.points,
+            samples=arguments.samples,
+            precision=fmt.precision,
+            seed=arguments.seed,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro validate: {error}") from None
+
+    items = []
+    if "-" in arguments.paths:
+        items.append(BatchItem(name="<stdin>", kind="lnum", source=_read_source("-")))
+    items.extend(discover_items([p for p in arguments.paths if p != "-"]))
+    subjects, failures = subjects_or_failures(items)
+    if arguments.suite:
+        extra_subjects, extra_failures = validation_bench.suite_subjects(
+            arguments.suite, include_huge=arguments.full
+        )
+        subjects.extend(extra_subjects)
+        failures.extend(extra_failures)
+    if arguments.function:
+        wanted = f"::{arguments.function}"
+        subjects = [
+            subject for subject in subjects if subject.name.endswith(wanted)
+        ]
+        if not subjects:
+            raise SystemExit(f"no function named {arguments.function!r} to validate")
+
+    cache = None
+    if not arguments.no_cache:
+        cache = AnalysisCache(directory=arguments.cache_dir or default_cache_directory())
+    with ValidationEngine(
+        jobs=arguments.jobs, cache=cache, config=config, options=options
+    ) as engine:
+        result = engine.validate_subjects(subjects)
+    result.reports.extend(failures)
+
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render_text())
+
+    gate_failed = False
+    report = None
+    if arguments.out or arguments.baseline:
+        report = validation_bench.build_report(
+            result, options.to_dict(), arguments.suite or ["<paths>"]
+        )
+    if arguments.out:
+        path = validation_bench.write_report(report, arguments.out)
+        print(f"report written to {path}")
+    if arguments.baseline:
+        baseline = validation_bench.load_report(arguments.baseline)
+        ok, lines = validation_bench.compare_with_baseline(
+            report, baseline, max_loosening=arguments.max_loosening
+        )
+        print(f"\nbaseline comparison ({arguments.max_loosening:g}x loosening gate):")
+        print("\n".join(lines))
+        print("validation gate " + ("passed" if ok else "FAILED"))
+        gate_failed = not ok
+    code = result.exit_code()
+    if gate_failed and code == 0:
+        code = 4
+    return code
+
+
+def _command_validate_single(arguments: argparse.Namespace) -> int:
+    """Corollary 4.20 on one program at explicit inputs (the ``-i`` mode)."""
+    if len(arguments.paths) != 1:
+        raise SystemExit(
+            "repro validate -i: give exactly one program path with explicit inputs"
+        )
+    if arguments.suite:
+        raise SystemExit("repro validate -i: --suite cannot be combined with inputs")
+    source = _read_source(arguments.paths[0])
     config = _config_from_arguments(arguments)
     program = parse_program(source)
     if arguments.function or program.definitions:

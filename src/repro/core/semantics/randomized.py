@@ -36,6 +36,8 @@ __all__ = [
     "run_nondeterministic",
     "run_stochastic",
     "run_with_rounding_schedule",
+    "stochastic_rounder",
+    "StochasticSummary",
     "StochasticStatistics",
     "stochastic_error_statistics",
 ]
@@ -130,6 +132,27 @@ def run_with_rounding_schedule(
     return run_monadic(term, environment, config)
 
 
+def stochastic_rounder(
+    precision: int, rng: random.Random
+) -> Callable[[Fraction], Fraction]:
+    """The unbiased stochastic rounding operator ``ρ_sr``.
+
+    Each inexact value rounds up with probability proportional to its
+    distance from the lower neighbour, drawing from the caller's ``rng``.
+    Shared by :func:`run_stochastic` and the validation sampler (which
+    wraps it with an execution counter).
+    """
+
+    def rounder(value: Fraction) -> Fraction:
+        down, up = _neighbours(value, precision)
+        if down == up:
+            return down
+        probability_up = (value - down) / (up - down)
+        return up if rng.random() < float(probability_up) else down
+
+    return rounder
+
+
 def run_stochastic(
     term: A.Term,
     environment: Environment | None = None,
@@ -139,33 +162,42 @@ def run_stochastic(
 ) -> Fraction:
     """One execution under unbiased stochastic rounding."""
     rng = rng or random.Random()
-
-    def rounder(value: Fraction) -> Fraction:
-        down, up = _neighbours(value, precision)
-        if down == up:
-            return down
-        probability_up = (value - down) / (up - down)
-        return up if rng.random() < float(probability_up) else down
-
-    config = EvaluationConfig(mode="fp", signature=signature or _default_signature(), rounder=rounder)
+    config = EvaluationConfig(
+        mode="fp",
+        signature=signature or _default_signature(),
+        rounder=stochastic_rounder(precision, rng),
+    )
     return run_monadic(term, environment, config)
 
 
 @dataclass(frozen=True)
-class StochasticStatistics:
-    """Summary of the RP errors observed over stochastic-rounding samples."""
+class StochasticSummary:
+    """Summary of the RP errors observed over stochastic-rounding samples.
+
+    Beyond the aggregate statistics, the summary names the worst case so
+    soundness reports can point at the offending execution: ``worst_result``
+    is the sampled floating-point value whose RP error was ``max_error``,
+    and ``worst_sample`` is its 0-based sample index (re-running with the
+    same seed replays it deterministically).
+    """
 
     samples: int
     ideal_value: Fraction
     max_error: Fraction
     mean_error: Fraction
     distinct_results: int
+    worst_result: Optional[Fraction] = None
+    worst_sample: Optional[int] = None
 
     def within_worst_case(self, bound: Fraction) -> bool:
         return self.max_error <= bound
 
     def within_expected(self, bound: Fraction) -> bool:
         return self.mean_error <= bound
+
+
+#: Backwards-compatible alias (the pre-validation name of the summary).
+StochasticStatistics = StochasticSummary
 
 
 def stochastic_error_statistics(
@@ -175,24 +207,43 @@ def stochastic_error_statistics(
     precision: int = 53,
     signature: Signature | None = None,
     seed: int = 0,
-) -> StochasticStatistics:
-    """Sample stochastic-rounding executions and summarise their RP errors."""
+    rng: Optional[random.Random] = None,
+) -> StochasticSummary:
+    """Sample stochastic-rounding executions and summarise their RP errors.
+
+    Seeding ergonomics: pass ``seed`` for a self-contained deterministic
+    run, or an explicit ``rng`` to draw from a caller-owned stream (several
+    summaries sharing one :class:`random.Random` never repeat each other's
+    rounding choices; ``seed`` is ignored when ``rng`` is given).
+    """
     from .evaluator import ideal_config
 
-    rng = random.Random(seed)
+    if samples <= 0:
+        raise ValueError("stochastic_error_statistics requires samples >= 1")
+    rng = rng if rng is not None else random.Random(seed)
     ideal_value = run_monadic(term, environment, ideal_config(signature))
     errors: List[Fraction] = []
     results: Set[Fraction] = set()
-    for _ in range(samples):
+    worst_result: Optional[Fraction] = None
+    worst_sample: Optional[int] = None
+    worst_error = Fraction(-1)
+    for index in range(samples):
         result = run_stochastic(term, environment, precision, signature, rng)
         results.add(result)
         _, high = rp_distance_enclosure(ideal_value, result)
-        errors.append(Fraction(high))
+        error = Fraction(high)
+        if error > worst_error:
+            worst_error = error
+            worst_result = result
+            worst_sample = index
+        errors.append(error)
     total = sum(errors, Fraction(0))
-    return StochasticStatistics(
+    return StochasticSummary(
         samples=samples,
         ideal_value=ideal_value,
         max_error=max(errors),
         mean_error=total / samples,
         distinct_results=len(results),
+        worst_result=worst_result,
+        worst_sample=worst_sample,
     )

@@ -24,7 +24,14 @@ import json
 import socket
 from typing import Any, Dict, List, Optional
 
-__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ServiceClient", "ServiceError", "render_report"]
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ServiceClient",
+    "ServiceError",
+    "render_report",
+    "render_validation",
+]
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 7351
@@ -173,6 +180,43 @@ class ServiceClient:
             payload["no_cache"] = True
         return self._checked(payload)
 
+    def validate(
+        self,
+        source: str,
+        kind: str = "lnum",
+        name: Optional[str] = None,
+        samples: int = 64,
+        points: int = 4,
+        seed: int = 0,
+        priority: str = "bulk",
+        deadline_ms: Optional[float] = None,
+        no_cache: bool = False,
+    ) -> Dict[str, Any]:
+        """Run the differential soundness harness on one program source.
+
+        The response's ``report`` is an
+        :meth:`repro.validation.harness.ItemValidation.to_dict` dictionary
+        (per-function verdicts, backend bounds, tightness ratios).
+        Validation fans out many concrete executions, so it defaults to the
+        bulk scheduling lane.
+        """
+        payload: Dict[str, Any] = {
+            "op": "validate",
+            "source": source,
+            "kind": kind,
+            "priority": priority,
+            "samples": samples,
+            "points": points,
+            "seed": seed,
+        }
+        if name:
+            payload["name"] = name
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if no_cache:
+            payload["no_cache"] = True
+        return self._checked(payload)
+
 
 def render_report(response: Dict[str, Any]) -> str:
     """Human-readable rendering of one analyze response (``repro query``).
@@ -203,5 +247,43 @@ def render_report(response: Dict[str, Any]) -> str:
                 f"  annotation     : {function['annotation']} "
                 f"({'satisfied' if function.get('annotation_satisfied') else 'VIOLATED'})"
             )
+    lines.append(f"  served in {response.get('seconds', 0.0) * 1000.0:.1f} ms")
+    return "\n".join(lines)
+
+
+def render_validation(response: Dict[str, Any]) -> str:
+    """Human-readable rendering of one validate response (``repro query``)."""
+    report = response.get("report", {})
+    served = "cached" if response.get("cached") else (
+        "coalesced" if response.get("coalesced") else "validated"
+    )
+    lines: List[str] = [
+        f"== {report.get('name', '<request>')} ({report.get('kind')}) "
+        f"[{served}] verdict: {report.get('verdict', '?').upper()}"
+    ]
+    if not report.get("ok", False):
+        lines.append(f"  error: {report.get('error')}")
+        return "\n".join(lines)
+    for program in report.get("reports", []):
+        lines.append(f"{program['name']}: {program['verdict']}")
+        empirical = program.get("empirical")
+        if empirical and empirical.get("ok"):
+            lines.append(
+                f"  empirical max  : {empirical['max_relative_error']:.3e} rel "
+                f"({empirical['runs']} runs; worst: {empirical['worst_mode']})"
+            )
+        for backend in program.get("backends", []):
+            if backend.get("relative_error") is not None:
+                tightness = backend.get("tightness")
+                lines.append(
+                    f"  {backend['backend']:<15}: {backend['relative_error']:.3e} "
+                    f"[{backend['status']}]"
+                    + (f" (tightness {tightness:.3f})" if tightness is not None else "")
+                )
+            else:
+                lines.append(
+                    f"  {backend['backend']:<15}: {backend['status']} "
+                    f"({backend.get('message', '')})"
+                )
     lines.append(f"  served in {response.get('seconds', 0.0) * 1000.0:.1f} ms")
     return "\n".join(lines)

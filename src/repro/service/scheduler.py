@@ -71,7 +71,7 @@ class DeadlineExceeded(Exception):
 
 @dataclass
 class Job:
-    """One admitted unit of analysis work."""
+    """One admitted unit of analysis or validation work."""
 
     key: str
     item: BatchItem
@@ -80,6 +80,12 @@ class Job:
     deadline: Optional[float] = None  # absolute, time.monotonic() domain
     future: "asyncio.Future[ProgramReport]" = field(default=None)  # type: ignore[assignment]
     enqueued_at: float = 0.0
+    #: Which worker function runs the job: "analyze" (the default) or
+    #: "validate" (the differential soundness harness).
+    kind: str = "analyze"
+    #: Extra work parameters (the validation sampling options), pickled to
+    #: process-pool workers alongside the item.
+    params: Optional[Dict[str, Any]] = None
 
     def remaining(self, now: Optional[float] = None) -> Optional[float]:
         if self.deadline is None:
@@ -198,15 +204,26 @@ class Scheduler:
                     # completion — client deadlines are enforced by the
                     # waiters' own ``wait_for``, and the finished report
                     # gets cached either way.
-                    report = await asyncio.wrap_future(
-                        self.pool.submit(
+                    if job.kind == "validate":
+                        from ..validation.harness import validate_item
+
+                        future = self.pool.submit(
+                            validate_item,
+                            job.item,
+                            job.config,
+                            job.params,
+                            self.parse_cache,
+                            self.judgement_memo,
+                        )
+                    else:
+                        future = self.pool.submit(
                             analyze_item,
                             job.item,
                             job.config,
                             self.parse_cache,
                             self.judgement_memo,
                         )
-                    )
+                    report = await asyncio.wrap_future(future)
                 except Exception as error:  # pragma: no cover - defensive
                     self.counters["failed"] += 1
                     if isinstance(error, BrokenExecutor):

@@ -35,7 +35,11 @@ Wire protocol
 
 Requests:  ``{"op": "analyze", "source": "...", "kind": "lnum",
 "priority": "interactive", "deadline_ms": 30000, "no_cache": false}``,
-``{"op": "stats"}``, ``{"op": "ping"}``, ``{"op": "shutdown"}``.
+``{"op": "validate", "source": "...", "kind": "lnum", "samples": 64,
+"points": 4, "seed": 0}`` (the differential soundness harness of
+:mod:`repro.validation`, same admission/coalescing pipeline, results keyed
+by normalized content *and* sampling parameters), ``{"op": "stats"}``,
+``{"op": "ping"}``, ``{"op": "shutdown"}``.
 
 Responses always carry ``status``: ``ok`` (with ``report`` for analyze),
 ``busy`` (queue full, code 429), ``timeout`` (deadline exceeded, code
@@ -144,6 +148,7 @@ class AnalysisService:
         self.counters: Dict[str, int] = {
             "requests": 0,
             "analyze_requests": 0,
+            "validate_requests": 0,
             "cache_hits": 0,
             "coalesced": 0,
             "scheduled": 0,
@@ -238,14 +243,18 @@ class AnalysisService:
             return {"status": "ok", "op": "shutdown"}
         if op == "analyze":
             return await self._handle_analyze(request)
+        if op == "validate":
+            return await self._handle_analyze(request, op="validate")
         return self._error(f"unknown op {op!r}")
 
     def _error(self, message: str, code: int = 400) -> Dict[str, Any]:
         self.counters["errors"] += 1
         return {"status": "error", "code": code, "error": message}
 
-    async def _handle_analyze(self, request: Dict[str, Any]) -> Dict[str, Any]:
-        self.counters["analyze_requests"] += 1
+    async def _handle_analyze(
+        self, request: Dict[str, Any], op: str = "analyze"
+    ) -> Dict[str, Any]:
+        self.counters[f"{op}_requests"] += 1
         source = request.get("source")
         if not isinstance(source, str) or not source.strip():
             return self._error("'source' must be a non-empty string")
@@ -269,12 +278,36 @@ class AnalysisService:
         name = request.get("name") or "<request>"
         no_cache = bool(request.get("no_cache", False))
 
+        params: Optional[Dict[str, Any]] = None
+        if op == "validate":
+            params = {}
+            # ``points`` must be >= 1: the stochastic budget is split
+            # across the points, so zero points would silently discard
+            # every requested sample while still reporting a verdict.
+            for field_name, default, minimum in (
+                ("samples", 64, 0),
+                ("points", 4, 1),
+                ("seed", 0, 0),
+            ):
+                value = request.get(field_name, default)
+                if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+                    return self._error(
+                        f"{field_name!r} must be an integer >= {minimum}"
+                    )
+                params[field_name] = value
+
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
         # Key normalization parses the source — real work for a large
         # program — so it runs on the executor, keeping the event loop
         # free to serve other connections' memory-cache hits meanwhile.
         key = await loop.run_in_executor(None, self.request_key, source, kind)
+        if op == "validate":
+            # Validation results are a different value type under different
+            # parameters, so they live under their own content key.
+            key = make_key(
+                "validate", key, params["samples"], params["points"], params["seed"]
+            )
 
         if not no_cache:
             if self.farm.disk is None:
@@ -282,9 +315,11 @@ class AnalysisService:
             else:
                 cached = self.farm.peek(key)
                 if cached is None:
-                    # Disk-tier pickle reads happen off the loop too.
+                    # Disk-tier pickle reads happen off the loop too.  The
+                    # exact-text alias only exists for analyze results (it
+                    # is the key `repro batch` uses for the same program).
                     cached = await loop.run_in_executor(
-                        None, self._probe_disk_tiers, key, source, kind
+                        None, self._probe_disk_tiers, key, source, kind, op
                     )
                     if cached is None:
                         # Re-check the memory tier: an in-flight duplicate
@@ -297,7 +332,7 @@ class AnalysisService:
                         cached = self.farm.peek(key, count=False)
             if cached is not None:
                 self.counters["cache_hits"] += 1
-                return self._ok(cached, key, started, cached=True)
+                return self._ok(cached, key, started, op, cached=True)
 
         if deadline_disabled:
             deadline_seconds: Optional[float] = None
@@ -325,7 +360,7 @@ class AnalysisService:
                         inflight.deadline, time.monotonic() + deadline_seconds
                     )
             return await self._await_report(
-                inflight.future, deadline_seconds, key, started, coalesced=True
+                inflight.future, deadline_seconds, key, started, op, coalesced=True
             )
 
         deadline: Optional[float] = None
@@ -339,6 +374,8 @@ class AnalysisService:
             priority=PRIORITY_NAMES[priority_name],
             deadline=deadline,
             future=asyncio.get_running_loop().create_future(),
+            kind=op,
+            params=params,
         )
         if not no_cache:
             self._inflight[key] = job
@@ -362,7 +399,7 @@ class AnalysisService:
             self.counters["busy"] += 1
             return {"status": "busy", "code": 429, "key": key}
         self.counters["scheduled"] += 1
-        return await self._await_report(job.future, deadline_seconds, key, started)
+        return await self._await_report(job.future, deadline_seconds, key, started, op)
 
     async def _await_report(
         self,
@@ -370,6 +407,7 @@ class AnalysisService:
         deadline_seconds: Optional[float],
         key: str,
         started: float,
+        op: str = "analyze",
         coalesced: bool = False,
     ) -> Dict[str, Any]:
         """Wait on a (possibly shared) job future and shape the response.
@@ -394,7 +432,7 @@ class AnalysisService:
             return {"status": "busy", "code": 429, "key": key}
         except Exception as error:  # pragma: no cover - defensive
             return self._error(f"analysis failed: {error}", code=500)
-        return self._ok(report, key, started, coalesced=coalesced)
+        return self._ok(report, key, started, op, coalesced=coalesced)
 
     def _finish_job(self, job: Job, no_cache: bool, future: "asyncio.Future") -> None:
         """Done-callback for every scheduled job (runs on the event loop)."""
@@ -409,9 +447,17 @@ class AnalysisService:
         self.farm.put(job.key, report, write_disk=False)
         if self.farm.disk is not None:
             # Persist asynchronously (pickle writes + budget eviction can
-            # take milliseconds): responses never wait on disk.
+            # take milliseconds): responses never wait on disk.  Validation
+            # results skip the exact-text alias — that key is the batch
+            # engine's *analysis* report for the same source.
             asyncio.get_running_loop().run_in_executor(
-                None, self._persist, job.key, job.item.source, job.item.kind, report
+                None,
+                self._persist,
+                job.key,
+                job.item.source,
+                job.item.kind,
+                report,
+                job.kind == "analyze",
             ).add_done_callback(_consume_result)
 
     def _alias_key(self, source: str, kind: str) -> str:
@@ -424,10 +470,12 @@ class AnalysisService:
         """
         return source_key(source, kind, self.config.inference)
 
-    def _probe_disk_tiers(self, key: str, source: str, kind: str) -> Any:
+    def _probe_disk_tiers(
+        self, key: str, source: str, kind: str, op: str = "analyze"
+    ) -> Any:
         """Blocking cache probe (disk included); runs on the executor."""
         cached = self.farm.get(key)
-        if cached is None and self.farm.disk is not None:
+        if cached is None and self.farm.disk is not None and op == "analyze":
             # The alias probe goes straight to the disk tier: routing it
             # through the farm would count a second shard miss for one
             # logical lookup (in a shard the real key doesn't map to) and
@@ -439,12 +487,16 @@ class AnalysisService:
                     self.farm.put(key, cached, write_disk=False)
         return cached
 
-    def _persist(self, key: str, source: str, kind: str, report: Any) -> None:
+    def _persist(
+        self, key: str, source: str, kind: str, report: Any, alias_too: bool = True
+    ) -> None:
         """Blocking disk write-back; runs on the executor."""
         disk = self.farm.disk
         if disk is None:
             return
         disk.put(key, report)
+        if not alias_too:
+            return
         alias = self._alias_key(source, kind)
         if alias != key:
             disk.put(alias, report)
@@ -454,12 +506,13 @@ class AnalysisService:
         report: Any,
         key: str,
         started: float,
+        op: str = "analyze",
         cached: bool = False,
         coalesced: bool = False,
     ) -> Dict[str, Any]:
         return {
             "status": "ok",
-            "op": "analyze",
+            "op": op,
             "key": key,
             "cached": cached,
             "coalesced": coalesced,

@@ -1,0 +1,47 @@
+"""Differential soundness validation: inference vs baselines vs execution.
+
+The paper's central claim is that inferred graded error bounds are *sound*:
+every concrete execution's rounding error sits below the type-level bound.
+This package turns that claim into a continuously-exercised check.  For each
+program it
+
+1. runs graded inference (the memoized engine) — the bound under test;
+2. runs every registered baseline analyser (:mod:`repro.baselines`) behind
+   the common :class:`~repro.validation.backends.BoundBackend` protocol;
+3. measures empirical forward error by fanning batched stochastic-rounding
+   and directed/nearest-rounding executions across the shared
+   :class:`~repro.analysis.batch.PoolHandle` worker pool;
+4. emits a per-program verdict — ``sound`` / ``violation`` / ``inconclusive``
+   — plus a tightness ratio (empirical max ÷ bound) per backend.
+
+Entry points: the ``repro validate`` CLI verb, the ``validate`` request kind
+of the analysis service, and the ``validation/*`` benchmark family writing
+``BENCH_validation.json`` (see :mod:`repro.validation.bench`).
+"""
+
+from .backends import BackendBound, BoundBackend, default_backends
+from .harness import (
+    ItemValidation,
+    ProgramValidation,
+    ValidationEngine,
+    ValidationOptions,
+    ValidationResult,
+    ValidationSubject,
+    validate_item,
+)
+from .sampling import EmpiricalSummary, SampleOptions
+
+__all__ = [
+    "BackendBound",
+    "BoundBackend",
+    "default_backends",
+    "EmpiricalSummary",
+    "ItemValidation",
+    "ProgramValidation",
+    "SampleOptions",
+    "ValidationEngine",
+    "ValidationOptions",
+    "ValidationResult",
+    "ValidationSubject",
+    "validate_item",
+]

@@ -1,0 +1,266 @@
+"""The ``validation/*`` benchmark family: ``BENCH_validation.json``.
+
+Runs the differential soundness harness over the benchmark suites (and the
+bundled example programs), records one row per program — verdict, empirical
+maximum, and every backend's bound with its *tightness ratio* (empirical max
+÷ claimed bound) — and gates the result against a checked-in baseline:
+
+* any ``violation`` verdict fails the gate outright;
+* a program whose verdict regresses from ``sound`` fails;
+* a backend that was ``ok`` in the baseline but lost its bound
+  (``failed`` / ``unsupported``) fails;
+* a backend whose tightness ratio *shrinks* by more than the allowed factor
+  fails — a shrinking ratio means the claimed bound loosened relative to
+  the same empirical evidence, the quiet way a bounds bug ships.
+
+Sampling is exact rational arithmetic driven by content-derived seeds, so a
+rerun of the same code produces an identical report; the gate's tolerance
+exists for *code* changes (a legitimately tightened grade, say), not for
+machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.batch import discover_items
+from .harness import (
+    ProgramValidation,
+    ValidationResult,
+    ValidationSubject,
+    subject_from_benchmark,
+    subjects_or_failures,
+)
+
+__all__ = [
+    "BENCH_FILENAME",
+    "REPORT_SCHEMA",
+    "SUITES",
+    "build_report",
+    "compare_with_baseline",
+    "load_report",
+    "suite_subjects",
+    "write_report",
+]
+
+BENCH_FILENAME = "BENCH_validation.json"
+REPORT_SCHEMA = 1
+
+#: The benchmark suites the validation family can sweep.  ``examples`` is
+#: path-based (the bundled example programs); the ``tableN`` suites are the
+#: paper's evaluation benchmarks.
+SUITES: Tuple[str, ...] = ("examples", "table3", "table4", "table5")
+
+
+def suite_subjects(
+    suites: Sequence[str],
+    include_huge: bool = False,
+    examples_path: str = "examples/programs",
+) -> Tuple[List[ValidationSubject], List[ProgramValidation]]:
+    """Build the subjects of the named suites (``all`` expands to every one).
+
+    Returns ``(subjects, failures)`` — a suite source that fails to parse
+    becomes an ``error``-verdict report instead of aborting the sweep.
+    """
+    names: List[str] = []
+    for name in suites:
+        expanded = list(SUITES) if name == "all" else [name]
+        for suite in expanded:
+            if suite not in SUITES:
+                raise ValueError(
+                    f"unknown validation suite {suite!r} (expected one of "
+                    f"{', '.join(SUITES)} or 'all')"
+                )
+            if suite not in names:
+                names.append(suite)
+
+    subjects: List[ValidationSubject] = []
+    failures: List[ProgramValidation] = []
+    for suite in names:
+        if suite == "examples":
+            # Subject names stay path-based, so a direct
+            # ``repro validate examples/programs`` run (the CI smoke job)
+            # produces rows the checked-in baseline can be matched against.
+            extra_subjects, extra_failures = subjects_or_failures(
+                discover_items([examples_path])
+            )
+            subjects.extend(extra_subjects)
+            failures.extend(extra_failures)
+            continue
+        if suite == "table3":
+            from ..benchsuite.fpbench import table3_benchmarks
+
+            benchmarks = table3_benchmarks()
+        elif suite == "table4":
+            from ..benchsuite.large import table4_benchmarks
+
+            benchmarks = table4_benchmarks(include_huge=include_huge)
+        else:
+            from ..benchsuite.conditionals import table5_benchmarks
+
+            benchmarks = table5_benchmarks()
+        subjects.extend(
+            subject_from_benchmark(benchmark, suite) for benchmark in benchmarks
+        )
+    return subjects, failures
+
+
+def build_report(
+    result: ValidationResult,
+    options: Dict[str, Any],
+    suites: Sequence[str],
+) -> Dict[str, Any]:
+    """Shape one validation run as the ``BENCH_validation.json`` document."""
+    programs: List[Dict[str, Any]] = []
+    for report in result.reports:
+        backends: Dict[str, Any] = {}
+        for backend_report in report.backends:
+            bound = backend_report.bound
+            backends[bound.backend] = {
+                "status": backend_report.status,
+                "bound": (
+                    None
+                    if bound.relative_error is None
+                    else float(bound.relative_error)
+                ),
+                "tightness": backend_report.tightness,
+                "seconds": bound.seconds,
+            }
+        entry: Dict[str, Any] = {
+            "name": report.name,
+            "kind": report.kind,
+            "verdict": report.verdict,
+            "seconds": report.seconds,
+            "backends": backends,
+        }
+        if report.empirical is not None and report.empirical.ok:
+            entry["empirical_max_rel"] = float(report.empirical.max_rel)
+            entry["empirical_max_rp"] = float(report.empirical.max_rp)
+            entry["runs"] = report.empirical.runs
+            entry["max_rounds"] = report.empirical.max_rounds
+            entry["worst_mode"] = report.empirical.worst_mode
+        programs.append(entry)
+    return {
+        "schema": REPORT_SCHEMA,
+        "suite": "repro-validation",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "suites": list(suites),
+        "options": dict(options),
+        "programs": programs,
+        "aggregate": {
+            "programs": result.programs,
+            "sound": result.sound,
+            "violations": result.violations,
+            "inconclusive": result.inconclusive,
+            "errors": result.errors,
+            "wall_seconds": result.wall_seconds,
+            "jobs": result.jobs,
+        },
+    }
+
+
+def write_report(report: Dict[str, Any], path: str = BENCH_FILENAME) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_with_baseline(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_loosening: float = 4.0,
+) -> Tuple[bool, List[str]]:
+    """The CI gate described in the module docstring.
+
+    Programs absent from the baseline are reported as informational;
+    tightness regressions only fail when both ratios are meaningfully
+    nonzero (ratios below ``1e-6`` mean the bound is so loose the ratio is
+    dominated by which execution happened to be worst, not by the bound).
+    """
+    baseline_by_name = {
+        entry["name"]: entry for entry in baseline.get("programs", [])
+    }
+    ok = True
+    lines: List[str] = []
+    for entry in report.get("programs", []):
+        name = entry["name"]
+        reference = baseline_by_name.get(name)
+        verdict = entry["verdict"]
+        if verdict == "violation":
+            ok = False
+            lines.append(f"  VIOLATION {name}: a claimed bound was exceeded")
+            continue
+        if reference is None:
+            lines.append(f"  new       {name}: {verdict} (no baseline)")
+            continue
+        if reference["verdict"] == "sound" and verdict != "sound":
+            ok = False
+            lines.append(
+                f"  REGRESSED {name}: verdict {reference['verdict']} -> {verdict}"
+            )
+            continue
+        worst: Optional[str] = None
+        for backend_name, current in entry.get("backends", {}).items():
+            previous = reference.get("backends", {}).get(backend_name)
+            if previous is None:
+                continue
+            if previous["status"] == "ok" and current["status"] in (
+                "failed",
+                "unsupported",
+            ):
+                ok = False
+                worst = f"{backend_name} lost its bound ({current['status']})"
+                break
+            current_ratio = current.get("tightness")
+            previous_ratio = previous.get("tightness")
+            if (
+                current["status"] == "ok"
+                and previous["status"] == "ok"
+                and current_ratio is not None
+                and previous_ratio is not None
+                and previous_ratio > 1e-6
+                and current_ratio < previous_ratio / max_loosening
+            ):
+                ok = False
+                worst = (
+                    f"{backend_name} tightness {previous_ratio:.3f} -> "
+                    f"{current_ratio:.3f} (bound loosened > {max_loosening:g}x)"
+                )
+                break
+        if worst is not None:
+            lines.append(f"  REGRESSED {name}: {worst}")
+        else:
+            lines.append(f"  ok        {name}: {verdict}")
+    # Rows in the baseline but absent from this run are informational when
+    # the run simply covered a smaller suite — but when the *file* the row
+    # came from now reports an error (a parse regression collapses every
+    # `path::function` row into one `path` error row), the disappearance
+    # is a regression: programs that used to be validated no longer are.
+    current = {entry["name"] for entry in report.get("programs", [])}
+    error_sources = {
+        entry["name"]
+        for entry in report.get("programs", [])
+        if entry["verdict"] == "error"
+    }
+    for name in sorted(set(baseline_by_name) - current):
+        source = name.split("::")[0]
+        if source in error_sources:
+            ok = False
+            lines.append(
+                f"  REGRESSED {name}: previously validated, now lost to an "
+                f"error on {source}"
+            )
+        else:
+            lines.append(f"  missing   {name}: in the baseline but not in this run")
+    return ok, lines

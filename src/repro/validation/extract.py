@@ -1,0 +1,221 @@
+"""Best-effort decompilation of Λnum terms back into real expressions.
+
+The baseline analysers (:mod:`repro.baselines.gappa_like`,
+:mod:`repro.baselines.fptaylor_like`) work on the straight-line
+:class:`~repro.frontend.expr.RealExpr` IR, while most of the corpus —
+``.lnum`` surface programs, the benchsuite's compiled terms — lives in core
+term form.  This module recovers the *ideal* real-valued expression from a
+term so the baselines can be run differentially against graded inference on
+every program, not only on benchmarks that happen to carry an expression.
+
+The extractor is a tiny symbolic evaluator: ``let``/``let-bind``/``let-box``
+bind symbolic values, ``rnd``/``ret``/boxes are transparent (they do not
+change the ideal value), applications beta-reduce through closures, and the
+primitive operations of the standard signature map onto expression nodes.
+``case`` over a comparison guard becomes a :class:`~repro.frontend.expr.Cond`
+(which the baselines then reject themselves, with their own diagnostics).
+
+Sharing is *unfolded*: a let-bound computation used twice appears twice in
+the extracted expression, and a function applied ``n`` times contributes its
+body ``n`` times.  The baselines therefore see at least one rounded node per
+rounding the term actually executes, which keeps their bounds conservative
+(never tighter than their model claims) — exactly the direction soundness
+validation needs.
+
+Anything outside this fragment (higher-order results, sums beyond boolean
+guards, unknown operations) raises :class:`ExtractionError`; callers treat
+that as "baselines unsupported for this program", never as a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core import ast as A
+from ..core import types as T
+from ..frontend import expr as E
+
+__all__ = ["ExtractionError", "extract_expression", "extract_program_expression"]
+
+
+class ExtractionError(Exception):
+    """The term is outside the expression-extractable fragment."""
+
+
+@dataclass(frozen=True)
+class _Closure:
+    """A lambda together with its captured symbolic environment."""
+
+    term: A.Lambda
+    environment: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class _Guard:
+    """The symbolic result of a comparison operation (``geq``/``gt``/``lt``)."""
+
+    comparison: E.Comparison
+
+
+class _Unit:
+    """The payload bound by ``case`` branches over boolean guards."""
+
+
+_UNIT = _Unit()
+
+#: Symbolic values: expressions, pairs of symbolic values, closures,
+#: comparison guards, unit payloads.  (Kept non-recursive for tooling.)
+_SymVal = Union[E.RealExpr, Tuple[object, object], _Closure, _Guard, _Unit]
+_Env = Dict[str, object]
+
+_COMPARISONS = {"geq": ">=", "gt": ">", "lt": "<"}
+
+
+def _as_expr(value: object, what: str) -> E.RealExpr:
+    if isinstance(value, E.RealExpr):
+        return value
+    raise ExtractionError(f"{what} is not a real-valued expression: {value!r}")
+
+
+def _as_pair(value: object, what: str) -> Tuple[object, object]:
+    if isinstance(value, tuple) and len(value) == 2:
+        return value
+    raise ExtractionError(f"{what} is not a pair: {value!r}")
+
+
+def _eval(term: A.Term, env: _Env) -> object:
+    if isinstance(term, A.Var):
+        try:
+            return env[term.name]
+        except KeyError:
+            raise ExtractionError(f"unbound variable {term.name!r}") from None
+    if isinstance(term, A.Const):
+        return E.Const(term.value)
+    if isinstance(term, A.UnitVal):
+        return _UNIT
+    if isinstance(term, (A.Rnd, A.Ret)):
+        # Rounding is the identity in the ideal semantics; the baselines
+        # re-attach their own per-operation (1+delta) factors.
+        return _eval(term.value, env)
+    if isinstance(term, A.Box):
+        return _eval(term.value, env)
+    if isinstance(term, A.WithPair) or isinstance(term, A.TensorPair):
+        return (_eval(term.left, env), _eval(term.right, env))
+    if isinstance(term, A.Proj):
+        pair = _as_pair(_eval(term.value, env), "projection argument")
+        return pair[0] if term.index == 1 else pair[1]
+    if isinstance(term, A.Lambda):
+        return _Closure(term, dict(env))
+    if isinstance(term, A.App):
+        function = _eval(term.function, env)
+        argument = _eval(term.argument, env)
+        if not isinstance(function, _Closure):
+            raise ExtractionError(f"application of a non-function {function!r}")
+        call_env = dict(function.environment)
+        call_env[function.term.parameter] = argument
+        return _eval(function.term.body, call_env)
+    if isinstance(term, A.Let):
+        inner = dict(env)
+        inner[term.variable] = _eval(term.bound, env)
+        return _eval(term.body, inner)
+    if isinstance(term, (A.LetBind, A.LetBox)):
+        inner = dict(env)
+        inner[term.variable] = _eval(term.value, env)
+        return _eval(term.body, inner)
+    if isinstance(term, A.LetTensor):
+        pair = _as_pair(_eval(term.value, env), "tensor-let value")
+        inner = dict(env)
+        inner[term.left_var], inner[term.right_var] = pair
+        return _eval(term.body, inner)
+    if isinstance(term, A.Case):
+        scrutinee = _eval(term.scrutinee, env)
+        if not isinstance(scrutinee, _Guard):
+            raise ExtractionError(
+                "case over a non-comparison scrutinee is outside the fragment"
+            )
+        left_env = dict(env)
+        left_env[term.left_var] = _UNIT
+        right_env = dict(env)
+        right_env[term.right_var] = _UNIT
+        then_branch = _as_expr(_eval(term.left_body, left_env), "then-branch")
+        else_branch = _as_expr(_eval(term.right_body, right_env), "else-branch")
+        return E.Cond(scrutinee.comparison, then_branch, else_branch)
+    if isinstance(term, A.Op):
+        return _eval_op(term, env)
+    raise ExtractionError(f"cannot extract through {type(term).__name__}")
+
+
+def _eval_op(term: A.Op, env: _Env) -> object:
+    argument = _eval(term.value, env)
+    if term.name in ("add", "mul", "div"):
+        left, right = _as_pair(argument, f"{term.name} argument")
+        left_expr = _as_expr(left, f"{term.name} left operand")
+        right_expr = _as_expr(right, f"{term.name} right operand")
+        if term.name == "add":
+            return E.Add(left_expr, right_expr)
+        if term.name == "mul":
+            return E.Mul(left_expr, right_expr)
+        return E.Div(left_expr, right_expr)
+    if term.name == "sqrt":
+        return E.Sqrt(_as_expr(argument, "sqrt operand"))
+    if term.name in _COMPARISONS:
+        left, right = _as_pair(argument, f"{term.name} argument")
+        return _Guard(
+            E.Comparison(
+                _COMPARISONS[term.name],
+                _as_expr(left, "comparison left operand"),
+                _as_expr(right, "comparison right operand"),
+            )
+        )
+    raise ExtractionError(f"operation {term.name!r} has no expression counterpart")
+
+
+def _input_leaf(name: str, tau: T.Type) -> E.RealExpr:
+    """The symbolic input for a parameter, unwrapping ``!``/``M`` wrappers."""
+    while isinstance(tau, (T.Bang, T.Monadic)):
+        tau = tau.inner
+    if isinstance(tau, T.Num):
+        return E.Var(name)
+    raise ExtractionError(f"parameter {name!r} has non-numeric type {tau}")
+
+
+def extract_expression(
+    term: A.Term, skeleton: Optional[Dict[str, T.Type]] = None
+) -> E.RealExpr:
+    """Extract the ideal expression of a term whose free variables are inputs."""
+    env: _Env = {}
+    for name, tau in (skeleton or {}).items():
+        env[name] = _input_leaf(name, tau)
+    return _as_expr(_eval(term, env), "program result")
+
+
+def extract_program_expression(
+    term: A.Term, skeleton: Optional[Dict[str, T.Type]] = None
+) -> Tuple[List[Tuple[str, T.Type]], E.RealExpr]:
+    """Extract parameters and expression from a (possibly curried) program.
+
+    Handles the shape produced by ``Program.term_for``: zero or more ``let``
+    bindings of earlier definitions wrapped around a curried lambda.  Returns
+    the lambda's parameters (name, declared type) in order, plus the body's
+    ideal expression with each parameter appearing as a free variable.  Free
+    variables typed by ``skeleton`` are additional inputs (the bare-term
+    case).
+    """
+    env: _Env = {}
+    for name, tau in (skeleton or {}).items():
+        env[name] = _input_leaf(name, tau)
+    value = _eval(term, env)
+    parameters: List[Tuple[str, T.Type]] = []
+    used = set(skeleton or {})
+    while isinstance(value, _Closure):
+        lam = value.term
+        name = lam.parameter
+        while name in used:
+            name += "_"
+        used.add(name)
+        parameters.append((name, lam.parameter_type))
+        call_env = dict(value.environment)
+        call_env[lam.parameter] = _input_leaf(name, lam.parameter_type)
+        value = _eval(lam.body, call_env)
+    return parameters, _as_expr(value, "program result")

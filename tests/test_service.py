@@ -862,6 +862,115 @@ class TestServerRoundTrip:
 
 
 # ---------------------------------------------------------------------------
+# The validate request kind
+# ---------------------------------------------------------------------------
+
+
+class TestValidateOp:
+    REQUEST = {
+        "op": "validate",
+        "source": FMA_SOURCE,
+        "samples": 4,
+        "points": 1,
+        "seed": 0,
+    }
+
+    def test_validate_round_trip_and_caching(self):
+        async def scenario():
+            service = await make_service()
+            first = await service.handle(dict(self.REQUEST))
+            assert first["status"] == "ok" and first["op"] == "validate"
+            report = first["report"]
+            assert report["ok"] and report["verdict"] == "sound"
+            (program,) = report["reports"]
+            assert program["verdict"] == "sound"
+            backends = {entry["backend"] for entry in program["backends"]}
+            assert {"lnum", "gappa_like", "fptaylor_like", "standard_bounds"} <= backends
+            # Same source + same sampling parameters: cached.
+            second = await service.handle(dict(self.REQUEST))
+            assert second["cached"]
+            # Different sampling parameters are a different request.
+            third = await service.handle({**self.REQUEST, "samples": 5})
+            assert not third["cached"]
+            assert service.counters["validate_requests"] == 3
+            assert service.counters["inferences"] == 2
+            await service.stop()
+
+        run(scenario())
+
+    def test_validate_key_is_distinct_from_analyze(self):
+        async def scenario():
+            service = await make_service()
+            analyze = await service.handle({"op": "analyze", "source": FMA_SOURCE})
+            validate = await service.handle(dict(self.REQUEST))
+            assert analyze["key"] != validate["key"]
+            # Neither is served from the other's cache entry.
+            assert not validate["cached"]
+            assert validate["report"]["reports"][0]["backends"]
+            await service.stop()
+
+        run(scenario())
+
+    def test_validate_rejects_bad_parameters(self):
+        async def scenario():
+            service = await make_service()
+            response = await service.handle({**self.REQUEST, "samples": "lots"})
+            assert response["status"] == "error"
+            response = await service.handle({**self.REQUEST, "points": -1})
+            assert response["status"] == "error"
+            # Zero points would silently drop the whole stochastic budget.
+            response = await service.handle({**self.REQUEST, "points": 0})
+            assert response["status"] == "error"
+            await service.stop()
+
+        run(scenario())
+
+    def test_concurrent_validate_duplicates_coalesce(self):
+        async def scenario():
+            service = await make_service()
+            responses = await asyncio.gather(
+                *[service.handle(dict(self.REQUEST)) for _ in range(4)]
+            )
+            assert [response["status"] for response in responses] == ["ok"] * 4
+            assert service.counters["inferences"] == 1
+            assert (
+                service.counters["coalesced"] + service.counters["cache_hits"] == 3
+            )
+            await service.stop()
+
+        run(scenario())
+
+    def test_client_validate_over_tcp(self, live_server):
+        with ServiceClient(port=live_server) as client:
+            response = client.validate(FMA_SOURCE, name="fma", samples=4, points=1)
+            assert response["status"] == "ok"
+            assert response["report"]["verdict"] == "sound"
+            stats = client.stats()
+            assert stats["service"]["validate_requests"] == 1
+
+    def test_query_cli_validate_flag(self, live_server, capsys):
+        from repro.cli import main
+
+        path = os.path.join(EXAMPLES, "fma.lnum")
+        code = main(
+            [
+                "query",
+                path,
+                "--validate",
+                "--samples",
+                "4",
+                "--points",
+                "1",
+                "--port",
+                str(live_server),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "SOUND" in output and "lnum" in output
+
+
+# ---------------------------------------------------------------------------
 # The reusable pool handle
 # ---------------------------------------------------------------------------
 
