@@ -233,11 +233,43 @@ class BatchResult:
 # ---------------------------------------------------------------------------
 
 
+#: The worker process's own cross-item judgement memo (see
+#: :func:`process_judgement_memo`).
+_PROCESS_MEMO_LOCK = threading.Lock()
+_PROCESS_JUDGEMENT_MEMO = None
+
+
+def process_judgement_memo(entries: int):
+    """This process's own cross-item :class:`JudgementMemo`, lazily built.
+
+    A :class:`~repro.core.inference.JudgementMemo` cannot travel between
+    processes, but nothing stops each *pool worker process* from keeping
+    its own: subterms shared between the items a worker happens to
+    receive are still inferred once per worker lifetime.  The memo is a
+    module-level singleton so it survives across pool tasks; the first
+    caller's ``entries`` fixes the capacity (workers of one pool all pass
+    the same configuration).  ``entries <= 0`` disables.
+    """
+    global _PROCESS_JUDGEMENT_MEMO
+    if entries <= 0:
+        return None
+    memo = _PROCESS_JUDGEMENT_MEMO
+    if memo is None:
+        with _PROCESS_MEMO_LOCK:
+            memo = _PROCESS_JUDGEMENT_MEMO
+            if memo is None:
+                from ..core.inference import JudgementMemo
+
+                memo = _PROCESS_JUDGEMENT_MEMO = JudgementMemo(entries)
+    return memo
+
+
 def _analyze_item(
     item: BatchItem,
     config: Optional[InferenceConfig],
     cache: Optional[AnalysisCache] = None,
     memo=None,
+    memo_entries: Optional[int] = None,
 ) -> ProgramReport:
     """Analyse one program; analysis errors become failed reports.
 
@@ -246,8 +278,13 @@ def _analyze_item(
     skips the parser.  ``memo`` (a
     :class:`~repro.core.inference.JudgementMemo`, in-process only) reuses
     subterm judgements across items — common subexpressions shared by many
-    programs of a corpus are inferred once.
+    programs of a corpus are inferred once.  When no memo travels with the
+    call but ``memo_entries`` is set, the executing process falls back to
+    its own :func:`process_judgement_memo` — this is how process-pool
+    workers get cross-request memo reuse without sharing memory.
     """
+    if memo is None and memo_entries:
+        memo = process_judgement_memo(memo_entries)
     start = time.perf_counter()
     try:
         if item.kind == "fpcore":

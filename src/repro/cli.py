@@ -122,6 +122,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="inference workers (1: in-process thread; N>1: process pool)",
     )
     serve.add_argument(
+        "-w", "--workers", type=int, default=1, metavar="N",
+        help="cluster worker processes: N>1 starts a router that "
+        "consistent-hashes requests onto N shard-affine workers "
+        "(1: today's single-process server, byte-for-byte)",
+    )
+    serve.add_argument(
         "--queue-size", type=int, default=256,
         help="bounded work queue; full queue sheds requests with a busy response",
     )
@@ -452,6 +458,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
 
     from .service import AnalysisServer, AnalysisService, ServiceConfig
 
+    if getattr(arguments, "workers", 1) > 1:
+        return _serve_cluster(arguments)
     cache_dir = None
     if not arguments.no_cache:
         cache_dir = arguments.cache_dir or default_cache_directory()
@@ -480,6 +488,46 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("repro serve: interrupted", file=sys.stderr)
+    return 0
+
+
+def _serve_cluster(arguments: argparse.Namespace) -> int:
+    """``repro serve --workers N``: router + N shard-affine workers."""
+    import asyncio
+
+    from .service import ClusterConfig, RouterServer, ServiceConfig
+
+    cache_dir = None
+    if not arguments.no_cache:
+        cache_dir = arguments.cache_dir or default_cache_directory()
+    service = ServiceConfig(
+        jobs=arguments.jobs,
+        queue_size=arguments.queue_size,
+        shards=arguments.shards,
+        shard_entries=arguments.shard_entries,
+        cache_dir=cache_dir,
+        default_deadline_seconds=arguments.deadline or None,
+        inference=_config_from_arguments(arguments),
+    )
+    router = RouterServer(
+        config=ClusterConfig(workers=arguments.workers, service=service),
+        host=arguments.host,
+        port=arguments.port,
+    )
+
+    async def _serve() -> None:
+        host, port = await router.start()
+        print(f"repro serve: router listening on {host}:{port} "
+              f"(workers={arguments.workers}, queue={service.queue_size}, "
+              f"cache={'disk:' + cache_dir if cache_dir else 'memory'})",
+              flush=True)
+        await router.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted", file=sys.stderr)
+        router.cluster.stop()
     return 0
 
 

@@ -9,22 +9,30 @@ request lifecycle is::
 
 * :mod:`repro.service.server` — the :class:`AnalysisService` core
   (request normalization, in-flight coalescing, response shaping) and the
-  :class:`AnalysisServer` TCP front-end;
+  :class:`AnalysisServer` TCP front-end, including the pipelined
+  (id-correlated) request mode;
 * :mod:`repro.service.scheduler` — the bounded priority queue feeding the
   reusable :class:`repro.analysis.batch.PoolHandle`, with deadlines and
   load shedding;
 * :mod:`repro.service.cachefarm` — the sharded in-memory result cache
   layered over the bounded disk cache;
+* :mod:`repro.service.cluster` — the worker-process fleet and the
+  consistent-hash ring behind ``repro serve --workers N``;
+* :mod:`repro.service.router` — the front-end that shards requests over
+  the fleet by content key, with supervision and hot restarts;
 * :mod:`repro.service.client` — the blocking client library behind
-  ``repro query``.
+  ``repro query``, including the pipelined multiplexing client.
 
-See the "Service layer" section of ``docs/architecture.md`` for the
-data-flow diagram and ``repro.perf.service_bench`` for the load
-generator that produces ``BENCH_service.json``.
+See the "Service layer" and "Cluster layer" sections of
+``docs/architecture.md`` for the data-flow diagrams and
+``repro.perf.service_bench`` for the load generator that produces
+``BENCH_service.json``.
 """
 
 from .cachefarm import CacheFarm
-from .client import DEFAULT_PORT, ServiceClient, ServiceError
+from .client import DEFAULT_PORT, PipelinedClient, ServiceClient, ServiceError
+from .cluster import AnalysisCluster, ClusterConfig, HashRing, WorkerHandle
+from .router import RouterServer
 from .scheduler import (
     PRIORITY_BULK,
     PRIORITY_INTERACTIVE,
@@ -35,16 +43,22 @@ from .scheduler import (
 from .server import AnalysisServer, AnalysisService, ServiceConfig
 
 __all__ = [
+    "AnalysisCluster",
     "AnalysisServer",
     "AnalysisService",
     "CacheFarm",
+    "ClusterConfig",
     "DEFAULT_PORT",
     "DeadlineExceeded",
+    "HashRing",
     "PRIORITY_BULK",
     "PRIORITY_INTERACTIVE",
+    "PipelinedClient",
+    "RouterServer",
     "Scheduler",
     "SchedulerBusy",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "WorkerHandle",
 ]

@@ -12,10 +12,13 @@ verb alike::
         print(response["report"]["functions"][0]["relative_error_bound"])
         print(client.stats()["service"]["coalesced"])
 
-One client holds one connection and pipelines requests sequentially on
-it; concurrency comes from using one client per thread (see
-``repro.perf.service_bench`` for the closed-loop load generator built
-that way).
+One :class:`ServiceClient` holds one connection and issues requests
+sequentially on it; concurrency comes from using one client per thread
+(see ``repro.perf.service_bench`` for the closed-loop load generator
+built that way).  :class:`PipelinedClient` multiplexes instead: it tags
+every request with a correlation ``id``, keeps many in flight on one
+connection, and matches the (possibly out-of-order) responses back up —
+the high-throughput mode the cluster router uses internally.
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ from typing import Any, Dict, List, Optional
 __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "PipelinedClient",
     "ServiceClient",
     "ServiceError",
     "render_report",
@@ -216,6 +220,90 @@ class ServiceClient:
         if no_cache:
             payload["no_cache"] = True
         return self._checked(payload)
+
+
+class PipelinedClient(ServiceClient):
+    """A blocking client that multiplexes many requests on one connection.
+
+    Requests are tagged with integer correlation ids and written eagerly
+    (``submit`` never reads); responses are collected with ``drain`` /
+    ``collect`` and matched by id, in whatever order the server finishes
+    them.  One pipelined client saturates a server about as well as
+    dozens of sequential clients, at a fraction of the socket and thread
+    cost::
+
+        with PipelinedClient(port=7351) as client:
+            ids = [client.submit({"op": "analyze", "source": src})
+                   for src in sources]
+            responses = client.collect(ids)
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        super().__init__(host, port, timeout)
+        self._next_id = 0
+        self._responses: Dict[int, Dict[str, Any]] = {}
+
+    def submit(self, payload: Dict[str, Any]) -> int:
+        """Send one request without waiting; returns its correlation id.
+
+        The request is framed canonically (``id`` first), which lets the
+        server and router take their byte-splicing fast paths.
+        """
+        self.connect()
+        request_id = self._next_id
+        self._next_id += 1
+        body = json.dumps(payload, separators=(",", ":"))
+        if body == "{}":
+            line = '{"id":%d}\n' % request_id
+        else:
+            line = '{"id":%d,' % request_id + body[1:] + "\n"
+        try:
+            self._writer.write(line.encode("utf-8"))
+        except OSError as error:
+            self.close()
+            raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}") from error
+        return request_id
+
+    def flush(self) -> None:
+        try:
+            self._writer.flush()
+        except OSError as error:
+            self.close()
+            raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}") from error
+
+    def drain(self, request_id: int) -> Dict[str, Any]:
+        """The response for ``request_id``, reading lines until it arrives."""
+        response = self._responses.pop(request_id, None)
+        if response is not None:
+            return response
+        self.flush()
+        while True:
+            try:
+                line = self._reader.readline()
+            except OSError as error:
+                self.close()
+                raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}") from error
+            if not line:
+                self.close()
+                raise ServiceError("server closed the connection")
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ServiceError(f"malformed response: {error}") from error
+            got = response.get("id")
+            if got == request_id:
+                return response
+            if got is not None:
+                self._responses[got] = response
+
+    def collect(self, request_ids: List[int]) -> List[Dict[str, Any]]:
+        """Responses for ``request_ids``, in the order *asked for*."""
+        return [self.drain(request_id) for request_id in request_ids]
 
 
 def render_report(response: Dict[str, Any]) -> str:

@@ -103,18 +103,24 @@ class Scheduler:
         workers: Optional[int] = None,
         parse_cache: Optional["AnalysisCache"] = None,
         judgement_memo=None,
+        memo_entries: Optional[int] = None,
     ) -> None:
         self.pool = pool or PoolHandle(1)
         # With a thread-mode pool (jobs=1) the worker runs in-process, so
         # it can share the service's (lock-guarded) parse memo and skip
         # re-parsing sources the admission path already parsed for key
         # normalization.  Process pools get None: the memo doesn't travel.
-        # The judgement memo follows the same rule: in-process it carries
+        # The judgement memo follows the same rule in-process: it carries
         # subterm judgements *across requests* (corpus-wide common
-        # subexpressions infer once per server lifetime); a process pool
-        # cannot share it.
+        # subexpressions infer once per server lifetime).  A process pool
+        # cannot share the object — instead ``memo_entries`` travels with
+        # every submission and each pool worker process lazily builds its
+        # *own* cross-request memo of that capacity
+        # (:func:`repro.analysis.batch.process_judgement_memo`), so shard
+        # affinity still pays off at jobs>1.
         self.parse_cache = parse_cache if self.pool.jobs == 1 else None
         self.judgement_memo = judgement_memo if self.pool.jobs == 1 else None
+        self.memo_entries = memo_entries if self.pool.jobs > 1 else None
         # One puller per executor worker: more would only queue inside the
         # executor where deadlines can no longer be honoured.
         self.workers = max(1, workers if workers is not None else self.pool.jobs)
@@ -204,6 +210,10 @@ class Scheduler:
                     # completion — client deadlines are enforced by the
                     # waiters' own ``wait_for``, and the finished report
                     # gets cached either way.
+                    # The per-process memo capacity rides along only for
+                    # process pools (``memo_entries`` is None otherwise),
+                    # keeping the thread-pool call shape unchanged.
+                    extra = (self.memo_entries,) if self.memo_entries else ()
                     if job.kind == "validate":
                         from ..validation.harness import validate_item
 
@@ -214,6 +224,7 @@ class Scheduler:
                             job.params,
                             self.parse_cache,
                             self.judgement_memo,
+                            *extra,
                         )
                     else:
                         future = self.pool.submit(
@@ -222,6 +233,7 @@ class Scheduler:
                             job.config,
                             self.parse_cache,
                             self.judgement_memo,
+                            *extra,
                         )
                     report = await asyncio.wrap_future(future)
                 except Exception as error:  # pragma: no cover - defensive

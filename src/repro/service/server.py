@@ -47,6 +47,21 @@ Responses always carry ``status``: ``ok`` (with ``report`` for analyze),
 is the ``/stats`` endpoint of the issue: service counters (requests,
 coalesced, inferences), cache farm shard counters, and scheduler lane /
 shed counters.
+
+Pipelining
+----------
+
+A request may carry an integer ``id``.  Such requests are *pipelined*:
+the server handles them concurrently, many in flight per connection, and
+each response echoes the request's ``id`` as its **first** JSON member —
+``{"id":7,"status":"ok",...}`` — so responses may arrive out of order
+and a router can correlate them from the fixed byte prefix without
+decoding report payloads.  Requests without an ``id`` keep the strict
+sequential request/response ordering of the original protocol
+byte-for-byte, so pre-pipelining clients are unaffected.  Pipelined
+responses are written in batches (one ``drain`` per ready batch), which
+is where most of the multi-client throughput comes from on a loaded
+server.
 """
 
 from __future__ import annotations
@@ -60,6 +75,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..analysis.batch import BatchItem, PoolHandle
 from ..analysis.cache import (
     AnalysisCache,
+    _LRU,
     config_key,
     make_key,
     memo_report,
@@ -78,10 +94,21 @@ from .scheduler import (
     SchedulerBusy,
 )
 
-__all__ = ["AnalysisServer", "AnalysisService", "ServiceConfig"]
+__all__ = [
+    "AnalysisServer",
+    "AnalysisService",
+    "ServiceConfig",
+    "frame_response",
+    "normalize_request_key",
+    "split_pipeline_id",
+]
 
 #: Longest accepted request line (sources are inlined in the JSON).
 MAX_REQUEST_BYTES = 16 * 1024 * 1024
+
+#: Most pipelined requests in flight per connection before the reader
+#: stops pulling new lines (TCP backpressure does the rest).
+DEFAULT_PIPELINE_WINDOW = 1024
 
 
 def _consume_result(future: "asyncio.Future") -> None:
@@ -90,6 +117,162 @@ def _consume_result(future: "asyncio.Future") -> None:
         future.exception()
     except BaseException:
         pass
+
+
+def normalize_request_key(
+    cache: AnalysisCache,
+    source: str,
+    kind: str,
+    config: Optional[InferenceConfig],
+) -> str:
+    """Content-addressed key for one analyze request (see ``request_key``).
+
+    Module-level so the cluster router can normalize with its *own* parse
+    memo and route on exactly the key the worker will compute — the
+    whole shard-affinity story rests on the two sides agreeing.
+    """
+    if kind == "lnum":
+        try:
+            program = cache.cached_parse(source)
+            if not program.definitions and program.main is None:
+                # Nothing to fingerprint (comment-only/empty source):
+                # a structural key would collapse all such programs
+                # onto one constant, so key on the text instead.
+                return source_key(source, kind, config)
+            parts = []
+            for definition in program.definitions:
+                term = A.intern_term(definition.term)
+                # The declared error-bound annotation is *not* part of
+                # the lambda term, but it changes the report
+                # (annotation_satisfied), so it must be in the key.
+                parts.append(
+                    f"{definition.name}:{definition.return_annotation}"
+                    f"={A.term_fingerprint(term)}"
+                )
+            if program.main is not None:
+                main = A.intern_term(program.main)
+                if not program.definitions:
+                    return term_key(main, config, "service")
+                parts.append(f"<main>={A.term_fingerprint(main)}")
+            return make_key("service", config_key(config), *parts)
+        except (LnumError, RecursionError):
+            # Unparseable (or adversarially deep) sources key on their
+            # text; the analysis worker reports the actual failure.
+            pass
+    return source_key(source, kind, config)
+
+
+_ID_PREFIX = b'{"id":'
+
+
+def split_pipeline_id(line: bytes) -> Tuple[Optional[int], Optional[bytes]]:
+    """Split the canonical pipelined framing ``{"id":N,...`` off a request.
+
+    Returns ``(request_id, tail)`` where ``tail`` is everything after the
+    id member's value (starting at the ``,`` or ``}``) — for two requests
+    that differ only in their correlation id the tails are byte-identical,
+    which is what makes the tail usable as a hot-path memo key.  Returns
+    ``(None, None)`` for anything but the canonical framing; callers fall
+    back to full JSON decoding (a request may still carry an ``id`` in a
+    non-leading position).
+    """
+    if not line.startswith(_ID_PREFIX):
+        return None, None
+    index = len(_ID_PREFIX)
+    end = index
+    size = len(line)
+    while end < size and line[end : end + 1].isdigit():
+        end += 1
+    if end == index:
+        return None, None
+    if end >= size or line[end] not in b",}":
+        return None, None
+    return int(line[index:end]), line[end:]
+
+
+def frame_response(request_id: Any, response: Dict[str, Any]) -> bytes:
+    """Serialize ``response`` with ``id`` spliced in as the first member."""
+    if isinstance(request_id, int) and not isinstance(request_id, bool):
+        payload = json.dumps(response, separators=(",", ":")).encode("utf-8")
+        if payload == b"{}":  # pragma: no cover - responses always carry status
+            return b'{"id":%d}\n' % request_id
+        return b'{"id":%d,' % request_id + payload[1:] + b"\n"
+    framed = {"id": request_id}
+    framed.update(response)
+    return json.dumps(framed, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+class _PipelineWriter:
+    """Per-connection batching writer for pipelined responses.
+
+    Concurrent request tasks ``send`` complete response lines; a single
+    writer task joins everything that accumulated since the last flush
+    into one ``write`` + ``drain``.  Under load this collapses hundreds
+    of per-response syscalls into a handful of large writes — the batched
+    half of "pipelining/batching on the NDJSON framing".
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, window: int) -> None:
+        self.writer = writer
+        self.window = max(1, window)
+        self.inflight = 0
+        self.closed = False
+        self._buffer: list = []
+        self._wake = asyncio.Event()
+        self._slot = asyncio.Event()
+        self._slot.set()
+        self._task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def admit(self) -> None:
+        """Block the connection reader while the in-flight window is full."""
+        while self.inflight >= self.window and not self.closed:
+            self._slot.clear()
+            await self._slot.wait()
+        self.inflight += 1
+
+    def release(self) -> None:
+        self.inflight -= 1
+        if self.inflight < self.window:
+            self._slot.set()
+
+    def send(self, data: bytes) -> None:
+        if self.closed:
+            return
+        self._buffer.append(data)
+        self._wake.set()
+
+    async def _run(self) -> None:
+        try:
+            while not self.closed:
+                await self._wake.wait()
+                self._wake.clear()
+                if not self._buffer:
+                    continue
+                batch = b"".join(self._buffer)
+                self._buffer.clear()
+                self.writer.write(batch)
+                await self.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self.closed = True
+            self._slot.set()
+
+    async def close(self) -> None:
+        self.closed = True
+        self._wake.set()
+        self._slot.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
 
 
 @dataclass
@@ -104,9 +287,19 @@ class ServiceConfig:
     default_deadline_seconds: Optional[float] = 60.0
     inference: Optional[InferenceConfig] = None
     #: Bound of the cross-request subterm-judgement memo (0 disables).
-    #: Only effective with ``jobs=1`` (in-process inference): a process
-    #: pool cannot share in-memory judgements.
+    #: With ``jobs=1`` the memo is shared in-process across requests; a
+    #: process pool cannot share it, so with ``jobs>1`` each pool worker
+    #: process keeps its own memo of this capacity instead (see
+    #: :func:`repro.analysis.batch.process_judgement_memo`).
     judgement_memo_entries: int = 65_536
+    #: Most pipelined (id-tagged) requests in flight per connection.
+    pipeline_window: int = DEFAULT_PIPELINE_WINDOW
+    #: Bounds of the hot-path memos: request-body bytes → content key,
+    #: and content key → serialized report bytes.  They let a repeated
+    #: pipelined request hit the memory cache without re-normalizing the
+    #: source or re-encoding the report (0 disables).
+    hot_key_entries: int = 4096
+    hot_report_entries: int = 1024
 
 
 class AnalysisService:
@@ -125,9 +318,13 @@ class AnalysisService:
         )
         # Cross-request judgement memo: subterms shared between *different*
         # programs (Horner steps, FMA patterns, a corpus's common helper
-        # functions) are inferred once per server lifetime.  In-process
-        # inference only — a process pool cannot share it — and bounded,
-        # like every other long-lived table in this process.
+        # functions) are inferred once per server lifetime.  The *shared*
+        # memo exists only for in-process inference (jobs=1) — a process
+        # pool cannot share the object, so at jobs>1 each pool worker
+        # process keeps its own memo of the same capacity instead (the
+        # ``memo_entries`` plumbing through the scheduler) and this
+        # attribute stays None.  Bounded, like every other long-lived
+        # table in this process.
         self.judgement_memo: Optional[JudgementMemo] = None
         if self.config.jobs == 1 and self.config.judgement_memo_entries > 0:
             self.judgement_memo = JudgementMemo(self.config.judgement_memo_entries)
@@ -143,8 +340,18 @@ class AnalysisService:
             queue_size=self.config.queue_size,
             parse_cache=self._analysis_cache,
             judgement_memo=self.judgement_memo,
+            memo_entries=self.config.judgement_memo_entries,
         )
         self._inflight: Dict[str, Job] = {}
+        # Hot-path memos for pipelined requests, touched only from the
+        # event loop (no locking).  ``_hot_keys`` maps the id-stripped
+        # request bytes to the op + content key a full ``handle`` pass
+        # computed for them; ``_hot_reports`` caches one JSON encoding per
+        # cached report object, so N hits on one report serialize it once.
+        self._hot_keys = _LRU(max(0, self.config.hot_key_entries) or 1)
+        self._hot_enabled = self.config.hot_key_entries > 0
+        self._hot_reports = _LRU(max(0, self.config.hot_report_entries) or 1)
+        self._hot_reports_enabled = self.config.hot_report_entries > 0
         self.counters: Dict[str, int] = {
             "requests": 0,
             "analyze_requests": 0,
@@ -178,36 +385,69 @@ class AnalysisService:
         changes coalesce onto one key.  Unparseable sources key on their
         text; their (failed) reports are cached all the same.
         """
-        config = self.config.inference
-        if kind == "lnum":
-            try:
-                program = self._analysis_cache.cached_parse(source)
-                if not program.definitions and program.main is None:
-                    # Nothing to fingerprint (comment-only/empty source):
-                    # a structural key would collapse all such programs
-                    # onto one constant, so key on the text instead.
-                    return source_key(source, kind, config)
-                parts = []
-                for definition in program.definitions:
-                    term = A.intern_term(definition.term)
-                    # The declared error-bound annotation is *not* part of
-                    # the lambda term, but it changes the report
-                    # (annotation_satisfied), so it must be in the key.
-                    parts.append(
-                        f"{definition.name}:{definition.return_annotation}"
-                        f"={A.term_fingerprint(term)}"
-                    )
-                if program.main is not None:
-                    main = A.intern_term(program.main)
-                    if not program.definitions:
-                        return term_key(main, config, "service")
-                    parts.append(f"<main>={A.term_fingerprint(main)}")
-                return make_key("service", config_key(config), *parts)
-            except (LnumError, RecursionError):
-                # Unparseable (or adversarially deep) sources key on their
-                # text; the analysis worker reports the actual failure.
-                pass
-        return source_key(source, kind, config)
+        return normalize_request_key(
+            self._analysis_cache, source, kind, self.config.inference
+        )
+
+    # -- pipelined fast path -------------------------------------------------
+
+    def fast_payload(self, body: bytes) -> Optional[bytes]:
+        """Serve a memory-cache hit for a previously-seen request body.
+
+        ``body`` is the id-stripped request line.  When the body was seen
+        before (so its content key is memoized) *and* the report is in
+        the memory tier, this returns the complete response **tail** —
+        everything after the ``{"id":N`` prefix, newline included — built
+        from memoized report bytes.  The caller splices its own id in
+        front.  Returns ``None`` in every other case; the caller then
+        takes the full ``handle`` path, which re-validates, probes disk,
+        coalesces, or schedules as usual.
+        """
+        if not self._hot_enabled:
+            return None
+        entry = self._hot_keys.get(body)
+        if entry is None:
+            return None
+        started = time.perf_counter()
+        op, key = entry
+        report = self.farm.peek(key)
+        if report is None:
+            return None
+        self.counters["requests"] += 1
+        self.counters[f"{op}_requests"] += 1
+        self.counters["cache_hits"] += 1
+        return (
+            b',"status":"ok","op":"%s","key":"%s","cached":true,'
+            b'"coalesced":false,"seconds":%.6f,"report":'
+            % (op.encode("ascii"), key.encode("ascii"), time.perf_counter() - started)
+            + self._report_bytes(key, report)
+            + b"}\n"
+        )
+
+    def _report_bytes(self, key: str, report: Any) -> bytes:
+        """One JSON encoding per live report object, memoized per key."""
+        if self._hot_reports_enabled:
+            entry = self._hot_reports.get(key)
+            if entry is not None and entry[0] is report:
+                return entry[1]
+        data = json.dumps(report.to_dict(), separators=(",", ":")).encode("utf-8")
+        if self._hot_reports_enabled:
+            self._hot_reports.put(key, (report, data))
+        return data
+
+    def remember_key(self, body: bytes, request: Dict[str, Any], response: Dict[str, Any]) -> None:
+        """Memoize ``body → (op, key)`` after a successful full pass.
+
+        Only cache-respecting ``ok`` responses register: a ``no_cache``
+        body demands a fresh inference every time, and error/busy/timeout
+        responses carry no stable key worth remembering.
+        """
+        if not self._hot_enabled or response.get("status") != "ok":
+            return
+        op = response.get("op")
+        if op not in ("analyze", "validate") or request.get("no_cache"):
+            return
+        self._hot_keys.put(body, (op, response["key"]))
 
     # -- dispatch ------------------------------------------------------------
 
@@ -593,6 +833,12 @@ class AnalysisServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections.add(writer)
+        # The pipeline writer and task set are created lazily on the first
+        # id-tagged request: plain sequential connections never pay for
+        # them (and stay byte-for-byte identical to the pre-pipelining
+        # protocol, ordering included).
+        pipeline: Optional[_PipelineWriter] = None
+        tasks: set = set()
         try:
             while True:
                 try:
@@ -607,12 +853,28 @@ class AnalysisServer:
                     break
                 if not line.strip():
                     continue
+                request_id, body = split_pipeline_id(line)
+                if request_id is not None:
+                    pipeline = pipeline or self._start_pipeline(writer)
+                    await pipeline.admit()
+                    self._spawn(tasks, self._pipelined(pipeline, request_id, line, body))
+                    continue
                 try:
                     request = json.loads(line)
                 except json.JSONDecodeError as error:
                     await self._respond(
                         writer,
                         {"status": "error", "code": 400, "error": f"bad JSON: {error}"},
+                    )
+                    continue
+                if isinstance(request, dict) and "id" in request:
+                    # Non-canonical framing (id not the leading member)
+                    # still selects pipelined handling — only the bytes
+                    # fast path needs the canonical prefix.
+                    pipeline = pipeline or self._start_pipeline(writer)
+                    await pipeline.admit()
+                    self._spawn(
+                        tasks, self._pipelined_parsed(pipeline, request.pop("id"), request)
                     )
                     continue
                 response = await self.service.handle(request)
@@ -626,11 +888,77 @@ class AnalysisServer:
             pass
         finally:
             self._connections.discard(writer)
+            for task in list(tasks):
+                task.cancel()
+            for task in list(tasks):
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            if pipeline is not None:
+                await pipeline.close()
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _start_pipeline(self, writer: asyncio.StreamWriter) -> _PipelineWriter:
+        pipeline = _PipelineWriter(writer, self.service.config.pipeline_window)
+        pipeline.start()
+        return pipeline
+
+    @staticmethod
+    def _spawn(tasks: set, coroutine) -> None:
+        task = asyncio.get_running_loop().create_task(coroutine)
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    async def _pipelined(
+        self,
+        pipeline: _PipelineWriter,
+        request_id: int,
+        line: bytes,
+        body: Optional[bytes],
+    ) -> None:
+        """Handle one canonically-framed pipelined request concurrently."""
+        try:
+            if body is not None:
+                fast = self.service.fast_payload(body)
+                if fast is not None:
+                    pipeline.send(b'{"id":%d' % request_id + fast)
+                    return
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                pipeline.send(
+                    frame_response(
+                        request_id,
+                        {"status": "error", "code": 400, "error": f"bad JSON: {error}"},
+                    )
+                )
+                return
+            request.pop("id", None)
+            response = await self.service.handle(request)
+            if body is not None:
+                self.service.remember_key(body, request, response)
+            pipeline.send(frame_response(request_id, response))
+            if request.get("op") == "shutdown":
+                self._shutdown.set()
+        finally:
+            pipeline.release()
+
+    async def _pipelined_parsed(
+        self, pipeline: _PipelineWriter, request_id: Any, request: Dict[str, Any]
+    ) -> None:
+        """Handle one already-decoded pipelined request (any id position)."""
+        try:
+            response = await self.service.handle(request)
+            pipeline.send(frame_response(request_id, response))
+            if request.get("op") == "shutdown":
+                self._shutdown.set()
+        finally:
+            pipeline.release()
 
     @staticmethod
     async def _respond(writer: asyncio.StreamWriter, response: Dict[str, Any]) -> None:
