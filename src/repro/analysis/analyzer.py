@@ -130,18 +130,21 @@ def analyze_term(
     name: str = "<term>",
     annotation: Optional[T.Type] = None,
     memo=None,
+    engine: str = "auto",
 ) -> ErrorAnalysis:
     """Infer the type of a term and derive its error bounds.
 
     ``memo`` (a :class:`~repro.core.inference.JudgementMemo`) carries
     subterm judgements across calls; the term is hash-consed first so its
     subterms have the stable identities the memo keys on.  Reports are
-    identical with and without a memo — only the work changes.
+    identical with and without a memo — only the work changes.  ``engine``
+    selects the inference engine exactly like :func:`repro.core.inference.infer`
+    (``auto``/``interpreted``/``compiled``).
     """
     start = time.perf_counter()
     if memo is not None and memo is not False:
         term = A.intern_term(term)
-    result: InferenceResult = infer(term, skeleton, config, memo=memo)
+    result: InferenceResult = infer(term, skeleton, config, memo=memo, engine=engine)
     elapsed = time.perf_counter() - start
     grade = _final_monadic_grade(result.type)
     rp_bound = None
@@ -173,6 +176,7 @@ def analyze_definition(
     definition: Definition,
     config: InferenceConfig | None = None,
     memo=None,
+    engine: str = "auto",
 ) -> ErrorAnalysis:
     """Analyse one ``function`` definition of a parsed program."""
     term = program.term_for(definition.name)
@@ -183,6 +187,7 @@ def analyze_definition(
         name=definition.name,
         annotation=definition.return_annotation,
         memo=memo,
+        engine=engine,
     )
 
 
@@ -190,10 +195,11 @@ def analyze_program(
     program: Program,
     config: InferenceConfig | None = None,
     memo=None,
+    engine: str = "auto",
 ) -> List[ErrorAnalysis]:
     """Analyse every definition of a program, in order."""
     return [
-        analyze_definition(program, definition, config, memo=memo)
+        analyze_definition(program, definition, config, memo=memo, engine=engine)
         for definition in program.definitions
     ]
 

@@ -270,6 +270,7 @@ def _analyze_item(
     cache: Optional[AnalysisCache] = None,
     memo=None,
     memo_entries: Optional[int] = None,
+    engine: str = "auto",
 ) -> ProgramReport:
     """Analyse one program; analysis errors become failed reports.
 
@@ -300,6 +301,7 @@ def _analyze_item(
                     config,
                     name=core.name or item.name,
                     memo=memo,
+                    engine=engine,
                 )
             ]
         else:
@@ -311,10 +313,12 @@ def _analyze_item(
                 program = parse_program(item.source)
             if not program.definitions and program.main is not None:
                 analyses = [
-                    analyze_term(program.main, {}, config, name="<main>", memo=memo)
+                    analyze_term(
+                        program.main, {}, config, name="<main>", memo=memo, engine=engine
+                    )
                 ]
             else:
-                analyses = analyze_program(program, config, memo=memo)
+                analyses = analyze_program(program, config, memo=memo, engine=engine)
         return ProgramReport(
             name=item.name,
             kind=item.kind,
@@ -452,10 +456,12 @@ class BatchAnalyzer:
         cache: Optional[AnalysisCache] = None,
         config: Optional[InferenceConfig] = None,
         pool: Optional[PoolHandle] = None,
+        engine: str = "auto",
     ) -> None:
         self.jobs = pool.jobs if pool is not None else max(1, int(jobs or 1))
         self.cache = cache
         self.config = config
+        self.engine = engine
         self.pool = pool if pool is not None else PoolHandle(self.jobs)
 
     def close(self) -> None:
@@ -528,7 +534,10 @@ class BatchAnalyzer:
         local_cache = self.cache if inline else None
         computed = self.map_tasks(
             _analyze_item,
-            [(items[index], self.config, local_cache) for index in pending],
+            [
+                (items[index], self.config, local_cache, None, None, self.engine)
+                for index in pending
+            ],
         )
         for index, report in zip(pending, computed):
             reports[index] = report

@@ -136,6 +136,11 @@ def _restore_grade(infinite: bool, items: tuple) -> "Grade":
     return Grade(dict(items))
 
 
+#: The shared comparison key of the (unique, interned) infinite grade: it
+#: never depends on a registry, so one tuple serves every comparison.
+_INFINITE_CMP_KEY = (1, Fraction(0))
+
+
 class Grade:
     """An element of ``R≥0 ∪ {∞}`` represented as a symbolic polynomial.
 
@@ -147,7 +152,14 @@ class Grade:
     :data:`INFINITY` and :func:`as_grade`.
     """
 
-    __slots__ = ("_terms", "_infinite", "_hash", "_eval_cache", "__weakref__")
+    __slots__ = (
+        "_terms",
+        "_infinite",
+        "_hash",
+        "_eval_cache",
+        "_key_cache",
+        "__weakref__",
+    )
 
     def __new__(
         cls,
@@ -178,6 +190,7 @@ class Grade:
             self._infinite = bool(infinite)
             self._hash = hash(intern_key)
             self._eval_cache = None
+            self._key_cache = None
             _INTERN[intern_key] = self
             return self
 
@@ -303,8 +316,21 @@ class Grade:
 
     def _cmp_key(self, registry: SymbolRegistry | None = None) -> Tuple[int, Fraction]:
         if self._infinite:
-            return (1, Fraction(0))
-        return (0, self.evaluate(registry))
+            return _INFINITE_CMP_KEY
+        registry = registry or DEFAULT_REGISTRY
+        # Every grade comparison builds this tuple, making it as hot as
+        # ``evaluate``; cache the finished key on the interned instance,
+        # guarded by registry identity + mutation counter like _eval_cache.
+        cached = self._key_cache
+        if (
+            cached is not None
+            and cached[0] is registry
+            and cached[1] == registry.version
+        ):
+            return cached[2]
+        key = (0, self.evaluate(registry))
+        object.__setattr__(self, "_key_cache", (registry, registry.version, key))
+        return key
 
     def __le__(self, other: GradeLike) -> bool:
         return self._cmp_key() <= as_grade(other)._cmp_key()

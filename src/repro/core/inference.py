@@ -37,6 +37,7 @@ from fractions import Fraction
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from . import ast as A
+from . import compiled
 from . import types as T
 from .environment import Context
 from .errors import TypeInferenceError
@@ -222,11 +223,16 @@ def _resolve_memo(term: A.Term, memo: MemoLike):
     return memo
 
 
+#: Valid values of ``infer``'s ``engine`` parameter.
+_ENGINES = ("auto", "interpreted", "compiled")
+
+
 def infer(
     term: A.Term,
     skeleton: Mapping[str, T.Type] | None = None,
     config: InferenceConfig | None = None,
     memo: MemoLike = None,
+    engine: str = "auto",
 ) -> InferenceResult:
     """Run sensitivity inference on ``term`` under the skeleton ``Γ•``.
 
@@ -237,10 +243,30 @@ def infer(
     memo on; a :class:`JudgementMemo` instance is consulted and populated,
     carrying judgements across calls (incremental reanalysis, the
     service's shared memo).
+
+    ``engine`` selects the rule evaluator.  ``"interpreted"`` is the
+    explicit-stack walker below; ``"compiled"`` lowers the term to a flat
+    execution plan and runs the bytecode loop of
+    :mod:`repro.core.compiled` (identical judgements, no judgement memo);
+    ``"auto"`` (default) picks the compiled engine when numpy is importable
+    and no judgement memo is in play, and the interpreted engine otherwise
+    — so memo-carrying callers (the service, incremental reanalysis,
+    DAG-shared terms under the auto heuristic) keep their cross-call
+    judgement reuse.
     """
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown inference engine {engine!r}; expected one of {_ENGINES}"
+        )
     config = config or InferenceConfig()
-    engine = _Engine(config)
-    context, tau = engine.run(term, dict(skeleton or {}), _resolve_memo(term, memo))
+    resolved_memo = _resolve_memo(term, memo)
+    if engine == "compiled" or (
+        engine == "auto" and resolved_memo is None and compiled.have_numpy()
+    ):
+        context, tau = compiled.infer_compiled(term, skeleton or {}, config)
+        return InferenceResult(context, tau)
+    engine_obj = _Engine(config)
+    context, tau = engine_obj.run(term, dict(skeleton or {}), resolved_memo)
     return InferenceResult(context, tau)
 
 

@@ -300,6 +300,11 @@ class ServiceConfig:
     #: source or re-encoding the report (0 disables).
     hot_key_entries: int = 4096
     hot_report_entries: int = 1024
+    #: Inference engine forwarded with every analysis job
+    #: ("auto"/"interpreted"/"compiled").  ``auto`` keeps the judgement
+    #: memo's cross-request reuse (memoized inference stays interpreted)
+    #: and compiles only memo-less runs.
+    engine: str = "auto"
 
 
 class AnalysisService:
@@ -341,6 +346,7 @@ class AnalysisService:
             parse_cache=self._analysis_cache,
             judgement_memo=self.judgement_memo,
             memo_entries=self.config.judgement_memo_entries,
+            engine=self.config.engine,
         )
         self._inflight: Dict[str, Job] = {}
         # Hot-path memos for pipelined requests, touched only from the

@@ -229,12 +229,12 @@ class TestScheduler:
         # and the worker keeps serving afterwards.
         import time as time_module
 
-        def slow_then_fast(item, config, cache, memo=None):
+        def slow_then_fast(item, config, cache, memo=None, memo_entries=None, engine="auto"):
             if item.name == "slow":
                 time_module.sleep(0.3)
             from repro.analysis.batch import _analyze_item
 
-            return _analyze_item(item, config, cache, memo)
+            return _analyze_item(item, config, cache, memo, memo_entries, engine)
 
         monkeypatch.setattr(
             "repro.service.scheduler.analyze_item", slow_then_fast
@@ -604,9 +604,9 @@ class TestAnalysisService:
 
         from repro.analysis.batch import _analyze_item
 
-        def slow(item, config, cache, memo=None):
+        def slow(item, config, cache, memo=None, memo_entries=None, engine="auto"):
             time_module.sleep(0.25)
-            return _analyze_item(item, config, cache, memo)
+            return _analyze_item(item, config, cache, memo, memo_entries, engine)
 
         monkeypatch.setattr("repro.service.scheduler.analyze_item", slow)
 
