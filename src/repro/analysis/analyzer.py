@@ -131,6 +131,7 @@ def analyze_term(
     annotation: Optional[T.Type] = None,
     memo=None,
     engine: str = "auto",
+    instrumentation=None,
 ) -> ErrorAnalysis:
     """Infer the type of a term and derive its error bounds.
 
@@ -139,12 +140,19 @@ def analyze_term(
     subterms have the stable identities the memo keys on.  Reports are
     identical with and without a memo — only the work changes.  ``engine``
     selects the inference engine exactly like :func:`repro.core.inference.infer`
-    (``auto``/``interpreted``/``compiled``).
+    (``auto``/``interpreted``/``compiled``).  ``instrumentation`` (a
+    :class:`repro.obs.instrument.Instrumentation`) accumulates the
+    per-phase engine timings — ``lower``/``execute``/``convert`` on the
+    compiled path, ``interpret`` plus judgement-memo hit counts on the
+    interpreted one.
     """
     start = time.perf_counter()
     if memo is not None and memo is not False:
         term = A.intern_term(term)
-    result: InferenceResult = infer(term, skeleton, config, memo=memo, engine=engine)
+    result: InferenceResult = infer(
+        term, skeleton, config, memo=memo, engine=engine,
+        instrumentation=instrumentation,
+    )
     elapsed = time.perf_counter() - start
     grade = _final_monadic_grade(result.type)
     rp_bound = None
@@ -177,6 +185,7 @@ def analyze_definition(
     config: InferenceConfig | None = None,
     memo=None,
     engine: str = "auto",
+    instrumentation=None,
 ) -> ErrorAnalysis:
     """Analyse one ``function`` definition of a parsed program."""
     term = program.term_for(definition.name)
@@ -188,6 +197,7 @@ def analyze_definition(
         annotation=definition.return_annotation,
         memo=memo,
         engine=engine,
+        instrumentation=instrumentation,
     )
 
 
@@ -196,10 +206,14 @@ def analyze_program(
     config: InferenceConfig | None = None,
     memo=None,
     engine: str = "auto",
+    instrumentation=None,
 ) -> List[ErrorAnalysis]:
     """Analyse every definition of a program, in order."""
     return [
-        analyze_definition(program, definition, config, memo=memo, engine=engine)
+        analyze_definition(
+            program, definition, config, memo=memo, engine=engine,
+            instrumentation=instrumentation,
+        )
         for definition in program.definitions
     ]
 

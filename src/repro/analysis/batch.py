@@ -42,6 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import LnumError
 from ..core.inference import InferenceConfig
+from ..obs.instrument import Instrumentation
 from .analyzer import ErrorAnalysis, analyze_program, analyze_term
 from .cache import AnalysisCache, CacheStats, source_key
 
@@ -108,6 +109,11 @@ class ProgramReport:
     error: Optional[str] = None
     seconds: float = 0.0
     from_cache: bool = False
+    #: Engine phase breakdown (``parse``/``lower``/``execute``/``convert``
+    #: or ``interpret``, seconds; ``memo_hits`` count) summed over the
+    #: program's functions.  ``None`` on reports unpickled from caches
+    #: written before instrumentation existed.
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def failed(self) -> bool:
@@ -149,7 +155,7 @@ class ProgramReport:
                     "annotation_satisfied": analysis.annotation_satisfied,
                 }
             )
-        return {
+        out = {
             "name": self.name,
             "kind": self.kind,
             "ok": self.ok,
@@ -158,6 +164,9 @@ class ProgramReport:
             "seconds": self.seconds,
             "functions": functions,
         }
+        if self.phases:
+            out["phases"] = self.phases
+        return out
 
 
 @dataclass
@@ -286,14 +295,16 @@ def _analyze_item(
     """
     if memo is None and memo_entries:
         memo = process_judgement_memo(memo_entries)
+    instrumentation = Instrumentation()
     start = time.perf_counter()
     try:
         if item.kind == "fpcore":
             from ..frontend.compiler import compile_expression
             from ..frontend.fpcore import parse_fpcore
 
-            core = parse_fpcore(item.source)
-            compiled = compile_expression(core.expression)
+            with instrumentation.time("parse"):
+                core = parse_fpcore(item.source)
+                compiled = compile_expression(core.expression)
             analyses = [
                 analyze_term(
                     compiled.term,
@@ -302,29 +313,36 @@ def _analyze_item(
                     name=core.name or item.name,
                     memo=memo,
                     engine=engine,
+                    instrumentation=instrumentation,
                 )
             ]
         else:
             from ..core.parser import parse_program
 
-            if cache is not None:
-                program = cache.cached_parse(item.source)
-            else:
-                program = parse_program(item.source)
+            with instrumentation.time("parse"):
+                if cache is not None:
+                    program = cache.cached_parse(item.source)
+                else:
+                    program = parse_program(item.source)
             if not program.definitions and program.main is not None:
                 analyses = [
                     analyze_term(
-                        program.main, {}, config, name="<main>", memo=memo, engine=engine
+                        program.main, {}, config, name="<main>", memo=memo,
+                        engine=engine, instrumentation=instrumentation,
                     )
                 ]
             else:
-                analyses = analyze_program(program, config, memo=memo, engine=engine)
+                analyses = analyze_program(
+                    program, config, memo=memo, engine=engine,
+                    instrumentation=instrumentation,
+                )
         return ProgramReport(
             name=item.name,
             kind=item.kind,
             ok=True,
             analyses=analyses,
             seconds=time.perf_counter() - start,
+            phases=instrumentation.breakdown(),
         )
     except LnumError as error:
         return ProgramReport(

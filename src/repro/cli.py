@@ -159,6 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="inference engine for analysis jobs (auto: compiled when "
         "numpy is available and no judgement memo applies)",
     )
+    serve.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default="info",
+        help="stderr log verbosity (default info)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines instead of plain text",
+    )
     _add_instantiation_arguments(serve)
 
     query = subparsers.add_parser(
@@ -200,6 +211,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--stats", action="store_true", help="also print the server's /stats payload"
+    )
+    query.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the server's metrics snapshot (per-worker in cluster mode)",
+    )
+    query.add_argument(
+        "--prom",
+        action="store_true",
+        help="with --metrics, render Prometheus text exposition format",
+    )
+    query.add_argument(
+        "--trace",
+        action="store_true",
+        help="request per-phase spans (router/queue/cache/engine) with each response",
     )
     query.add_argument(
         "--shutdown", action="store_true", help="ask the server to exit afterwards"
@@ -349,6 +375,19 @@ def _configure_perf_parser(parser: argparse.ArgumentParser) -> None:
         metavar="RATIO",
         help="failure threshold for --baseline (default 3.0x)",
     )
+    parser.add_argument(
+        "--overhead",
+        action="store_true",
+        help="measure instrumentation overhead (instrumented vs plain "
+        "inference on horner at ~10^4 nodes) instead of the full sweep",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=1.05,
+        metavar="RATIO",
+        help="failure threshold for --overhead (default 1.05 = 5%%)",
+    )
 
 
 def _add_instantiation_arguments(parser: argparse.ArgumentParser) -> None:
@@ -478,10 +517,12 @@ def _command_perf(arguments: argparse.Namespace) -> int:
 def _command_serve(arguments: argparse.Namespace) -> int:
     import asyncio
 
+    from .obs.logs import configure_logging
     from .service import AnalysisServer, AnalysisService, ServiceConfig
 
     if getattr(arguments, "workers", 1) > 1:
         return _serve_cluster(arguments)
+    configure_logging(arguments.log_level, arguments.log_json)
     cache_dir = None
     if not arguments.no_cache:
         cache_dir = arguments.cache_dir or default_cache_directory()
@@ -494,6 +535,8 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         default_deadline_seconds=arguments.deadline or None,
         inference=_config_from_arguments(arguments),
         engine=arguments.engine,
+        log_level=arguments.log_level,
+        log_json=arguments.log_json,
     )
     server = AnalysisServer(
         AnalysisService(config), host=arguments.host, port=arguments.port
@@ -518,8 +561,10 @@ def _serve_cluster(arguments: argparse.Namespace) -> int:
     """``repro serve --workers N``: router + N shard-affine workers."""
     import asyncio
 
+    from .obs.logs import configure_logging
     from .service import ClusterConfig, RouterServer, ServiceConfig
 
+    configure_logging(arguments.log_level, arguments.log_json, process_name="router")
     cache_dir = None
     if not arguments.no_cache:
         cache_dir = arguments.cache_dir or default_cache_directory()
@@ -532,6 +577,8 @@ def _serve_cluster(arguments: argparse.Namespace) -> int:
         default_deadline_seconds=arguments.deadline or None,
         inference=_config_from_arguments(arguments),
         engine=arguments.engine,
+        log_level=arguments.log_level,
+        log_json=arguments.log_json,
     )
     router = RouterServer(
         config=ClusterConfig(workers=arguments.workers, service=service),
@@ -555,6 +602,24 @@ def _serve_cluster(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _print_trace(response: Dict) -> None:
+    """Render a response's ``trace`` block (``repro query --trace``)."""
+    trace = response.get("trace")
+    if not isinstance(trace, dict):
+        return
+    print(f"trace {trace.get('id', '?')}:")
+    for span in trace.get("spans", []):
+        name = span.get("name", "?")
+        seconds = span.get("seconds", 0.0)
+        attributes = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(span.items())
+            if key not in ("name", "seconds")
+        )
+        suffix = f"  ({attributes})" if attributes else ""
+        print(f"  {name:<18} {seconds * 1000.0:9.3f} ms{suffix}")
+
+
 def _command_query(arguments: argparse.Namespace) -> int:
     import json
     import os
@@ -567,8 +632,14 @@ def _command_query(arguments: argparse.Namespace) -> int:
         render_validation,
     )
 
-    if not arguments.paths and not (arguments.stats or arguments.shutdown):
-        raise SystemExit("repro query: give program paths and/or --stats/--shutdown")
+    if not arguments.paths and not (
+        arguments.stats or arguments.metrics or arguments.shutdown
+    ):
+        raise SystemExit(
+            "repro query: give program paths and/or --stats/--metrics/--shutdown"
+        )
+    if arguments.prom and not arguments.metrics:
+        raise SystemExit("repro query: --prom requires --metrics")
     # Give the socket more slack than the analysis deadline, so a long
     # but legitimate request dies server-side (a clean timeout response)
     # rather than as a client transport error at some unrelated cutoff.
@@ -597,6 +668,7 @@ def _command_query(arguments: argparse.Namespace) -> int:
                             priority=arguments.priority,
                             deadline_ms=arguments.deadline_ms,
                             no_cache=arguments.no_cache,
+                            trace=arguments.trace or None,
                         )
                     else:
                         response = client.analyze(
@@ -606,6 +678,7 @@ def _command_query(arguments: argparse.Namespace) -> int:
                             priority=arguments.priority,
                             deadline_ms=arguments.deadline_ms,
                             no_cache=arguments.no_cache,
+                            trace=arguments.trace or None,
                         )
                 except ServiceError as error:
                     status = (error.response or {}).get("status", "transport")
@@ -616,9 +689,11 @@ def _command_query(arguments: argparse.Namespace) -> int:
                     print(json.dumps(response, indent=2, sort_keys=True))
                 elif arguments.validate:
                     print(render_validation(response))
+                    _print_trace(response)
                     print()
                 else:
                     print(render_report(response))
+                    _print_trace(response)
                     print()
                 if not response["report"]["ok"]:
                     exit_code = max(exit_code, 2)
@@ -626,6 +701,15 @@ def _command_query(arguments: argparse.Namespace) -> int:
                     exit_code = max(exit_code, 1)
             if arguments.stats:
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            if arguments.metrics:
+                response = client.metrics(
+                    format="prometheus" if arguments.prom else None
+                )
+                if arguments.prom:
+                    print(response.get("prometheus", ""), end="")
+                else:
+                    response.pop("prometheus", None)
+                    print(json.dumps(response, indent=2, sort_keys=True))
             if arguments.shutdown:
                 client.shutdown()
     except ServiceError as error:

@@ -42,12 +42,23 @@ __all__ = [
 ]
 
 
-def infer_compiled(term, skeleton: Mapping[str, T.Type], config) -> Tuple[Context, T.Type]:
+def infer_compiled(
+    term, skeleton: Mapping[str, T.Type], config, instrumentation=None
+) -> Tuple[Context, T.Type]:
     """Lower (or fetch the cached plan for) ``term`` and execute it.
 
     Returns the ``(context, type)`` judgement with real interned grades —
-    the same pair the interpreted engine computes.
+    the same pair the interpreted engine computes.  ``instrumentation``
+    records the plan fetch/lowering as the ``lower`` phase and hands the
+    ``execute``/``convert`` boundary timing down to the executor.
     """
+    if instrumentation is not None and instrumentation.enabled:
+        import time
+
+        started = time.perf_counter()
+        plan = plan_for(term)
+        instrumentation.observe("lower", time.perf_counter() - started)
+        return execute(plan, skeleton, config, instrumentation)
     return execute(plan_for(term), skeleton, config)
 
 

@@ -29,6 +29,7 @@ yielding exactly the shape the incremental ``_insert`` would have produced.
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
@@ -473,11 +474,20 @@ def _to_context(d, m, tmemo) -> Context:
 # ---------------------------------------------------------------------------
 
 
-def execute(plan: Plan, skeleton, config) -> Tuple[Context, T.Type]:
+def execute(
+    plan: Plan, skeleton, config, instrumentation=None
+) -> Tuple[Context, T.Type]:
     """Run a plan against a skeleton mapping and an InferenceConfig.
 
     Returns the (context, type) judgement as real interned objects.
+    ``instrumentation`` (a :class:`repro.obs.instrument.Instrumentation`)
+    records the bytecode loop as the ``execute`` phase and the
+    judgement-boundary unpacking as ``convert`` — boundary timing only,
+    the opcode loop itself is untouched.
     """
+    timed = instrumentation is not None and instrumentation.enabled
+    if timed:
+        run_started = time.perf_counter()
     slot_types: List[Optional[T.Type]] = [None] * plan.n_slots
     ds: List[dict] = []
     ms: List[PGrade] = []
@@ -853,9 +863,15 @@ def execute(plan: Plan, skeleton, config) -> Tuple[Context, T.Type]:
 
     d = ds[0]
     m = ms[0]
+    if timed:
+        loop_done = time.perf_counter()
+        instrumentation.observe("execute", loop_done - run_started)
     tmemo: Dict[int, Tuple[T.Type, T.Type]] = {}
     context = _to_context(d, m, tmemo)
-    return context, _unpack_type(tys[0], tmemo)
+    tau = _unpack_type(tys[0], tmemo)
+    if timed:
+        instrumentation.observe("convert", time.perf_counter() - loop_done)
+    return context, tau
 
 
 _ERR_TY = PMonadic(P_ZERO, T.NUM)

@@ -233,6 +233,7 @@ def infer(
     config: InferenceConfig | None = None,
     memo: MemoLike = None,
     engine: str = "auto",
+    instrumentation=None,
 ) -> InferenceResult:
     """Run sensitivity inference on ``term`` under the skeleton ``Γ•``.
 
@@ -260,12 +261,27 @@ def infer(
         )
     config = config or InferenceConfig()
     resolved_memo = _resolve_memo(term, memo)
+    timed = instrumentation is not None and instrumentation.enabled
     if engine == "compiled" or (
         engine == "auto" and resolved_memo is None and compiled.have_numpy()
     ):
-        context, tau = compiled.infer_compiled(term, skeleton or {}, config)
+        context, tau = compiled.infer_compiled(
+            term, skeleton or {}, config, instrumentation
+        )
         return InferenceResult(context, tau)
     engine_obj = _Engine(config)
+    if timed:
+        import time
+
+        hits_before = getattr(resolved_memo, "hits", 0)
+        started = time.perf_counter()
+        context, tau = engine_obj.run(term, dict(skeleton or {}), resolved_memo)
+        instrumentation.observe("interpret", time.perf_counter() - started)
+        if resolved_memo is not None:
+            instrumentation.count(
+                "memo_hits", getattr(resolved_memo, "hits", 0) - hits_before
+            )
+        return InferenceResult(context, tau)
     context, tau = engine_obj.run(term, dict(skeleton or {}), resolved_memo)
     return InferenceResult(context, tau)
 

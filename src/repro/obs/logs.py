@@ -1,0 +1,93 @@
+"""Structured-logging bootstrap for ``repro serve``.
+
+Library modules use plain module-level loggers
+(``logging.getLogger(__name__)``) and never configure anything at import
+time; :func:`configure_logging` is called exactly once per process, from
+the CLI entry point (and from every cluster worker's ``spawn`` entry,
+with its slot's process name), wiring a single stderr handler onto the
+``repro`` logger namespace.
+
+``--log-json`` switches the handler to one-JSON-object-per-line
+formatting — mechanically parseable, like the wire protocol itself::
+
+    {"ts": "2026-08-08T12:00:00.123+00:00", "level": "warning",
+     "logger": "repro.service.router", "process": "router",
+     "message": "worker 1 connection lost ..."}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["JsonLineFormatter", "configure_logging"]
+
+#: ``--log-level`` choices, mapped to stdlib levels.
+LOG_LEVELS: Dict[str, int] = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per log record, newline-delimited."""
+
+    def __init__(self, process_name: Optional[str] = None) -> None:
+        super().__init__()
+        self.process_name = process_name
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: Dict[str, Any] = {
+            "ts": datetime.fromtimestamp(record.created, timezone.utc).isoformat(
+                timespec="milliseconds"
+            ),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if self.process_name:
+            entry["process"] = self.process_name
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exception"] = self.formatException(record.exc_info)
+        return json.dumps(entry, separators=(",", ":"))
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    process_name: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` logger namespace.
+
+    Idempotent: a reconfiguration replaces the previously installed
+    handler instead of stacking a second one.  Returns the ``repro``
+    logger.  Never touches the root logger — an application embedding
+    the library keeps its own logging configuration.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(LOG_LEVELS.get(level, logging.INFO))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonLineFormatter(process_name))
+    else:
+        prefix = f" {process_name}" if process_name else ""
+        handler.setFormatter(
+            logging.Formatter(
+                f"%(asctime)s{prefix} %(levelname)s %(name)s: %(message)s"
+            )
+        )
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_obs_handler", False):
+            logger.removeHandler(existing)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    # The single "repro" handler is the contract; don't double-log
+    # through the root logger's handlers too.
+    logger.propagate = False
+    return logger

@@ -44,6 +44,7 @@ __all__ = [
     "run",
     "main",
     "run_suite",
+    "measure_overhead",
     "write_report",
     "load_report",
     "compare_with_baseline",
@@ -502,6 +503,98 @@ def _algebra_benchmarks(
 
 
 # ---------------------------------------------------------------------------
+# Instrumentation overhead (the observability smoke gate)
+# ---------------------------------------------------------------------------
+
+#: Workload for ``repro perf --overhead``: the Horner family at ~10^4 tree
+#: nodes — long dependency chain, no sharing, so the measurement is pure
+#: engine time with no memo or coalescing effects to hide behind.
+OVERHEAD_FAMILY = "horner"
+OVERHEAD_NODES = 10_000
+
+
+def measure_overhead(
+    target_nodes: int = OVERHEAD_NODES,
+    family: str = OVERHEAD_FAMILY,
+    repeats: int = 7,
+) -> Dict[str, object]:
+    """Time inference with and without an :class:`Instrumentation` handle.
+
+    The phase timers are designed to cost a handful of ``perf_counter``
+    calls per *inference* (not per node), so the instrumented/plain ratio
+    should sit within noise of 1.0.  Best-of-``repeats`` on both sides
+    keeps scheduler jitter from dominating a sub-5% comparison.
+    """
+    from ..core.compiled import have_numpy
+    from ..obs.instrument import Instrumentation
+
+    config = InferenceConfig()
+    parameter = parameter_for_nodes(family, target_nodes)
+    term, skeleton, nodes, _dag_nodes = FAMILIES[family].instantiate(parameter)
+
+    engines = ["interpreted"]
+    if have_numpy():
+        engines.append("compiled")
+    entries: List[Dict[str, object]] = []
+    for engine in engines:
+        # Warm caches (plan cache, interners) untimed on both paths.
+        infer(term, skeleton, config, engine=engine)
+        infer(term, skeleton, config, engine=engine, instrumentation=Instrumentation())
+        plain = _best_of(
+            lambda: infer(term, skeleton, config, engine=engine), repeats
+        )
+        instrumented = _best_of(
+            lambda: infer(
+                term,
+                skeleton,
+                config,
+                engine=engine,
+                instrumentation=Instrumentation(),
+            ),
+            repeats,
+        )
+        entries.append(
+            {
+                "engine": engine,
+                "plain_seconds": plain,
+                "instrumented_seconds": instrumented,
+                "overhead_ratio": instrumented / plain if plain > 0 else 1.0,
+            }
+        )
+    return {
+        "family": family,
+        "parameter": parameter,
+        "nodes": nodes,
+        "repeats": repeats,
+        "engines": entries,
+    }
+
+
+def _run_overhead(arguments) -> int:
+    report = measure_overhead()
+    print(
+        f"instrumentation overhead — {report['family']} @ {report['nodes']} nodes "
+        f"(best of {report['repeats']}):"
+    )
+    worst = 0.0
+    for entry in report["engines"]:
+        ratio = entry["overhead_ratio"]
+        worst = max(worst, ratio)
+        print(
+            f"  {entry['engine']:<12} plain {entry['plain_seconds'] * 1e3:8.2f} ms   "
+            f"instrumented {entry['instrumented_seconds'] * 1e3:8.2f} ms   "
+            f"ratio {ratio:.3f}x"
+        )
+    limit = arguments.max_overhead
+    print(f"  worst ratio {worst:.3f}x (gate {limit:g}x)")
+    if worst > limit:
+        print("overhead gate FAILED")
+        return 1
+    print("overhead gate passed")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------
 
@@ -707,6 +800,8 @@ def configure_parser(parser) -> None:
 
 def run(arguments) -> int:
     """Execute a parsed ``repro perf`` invocation."""
+    if getattr(arguments, "overhead", False):
+        return _run_overhead(arguments)
     families = arguments.families.split(",") if arguments.families else None
     sizes = (
         [int(size) for size in arguments.sizes.split(",")] if arguments.sizes else None

@@ -135,6 +135,51 @@ class CacheFarm:
     def entries(self) -> int:
         return sum(len(shard.lru) for shard in self._shards)
 
+    def register_metrics(self, registry) -> None:
+        """Expose the farm's counters through a metrics registry.
+
+        Collector callbacks sample the existing lock-guarded counters at
+        snapshot time — the farm's mutation paths are untouched, so this
+        costs nothing on the request path.
+        """
+
+        def _total(field: str):
+            return lambda: sum(getattr(s.stats, field) for s in self._shards)
+
+        for field in ("hits", "misses", "puts", "evictions"):
+            registry.counter_func(
+                f"repro_cache_{field}_total",
+                _total(field),
+                "Memory-tier cache farm counters, summed over shards.",
+                tier="memory",
+            )
+        registry.gauge_func(
+            "repro_cache_entries",
+            lambda: self.entries,
+            "Live entries in the memory tier, summed over shards.",
+            tier="memory",
+        )
+        registry.counter_func(
+            "repro_cache_disk_hits_total",
+            lambda: self.disk_hits,
+            "Memory misses served by the disk tier.",
+        )
+        if self.disk is not None:
+            for field in ("hits", "misses", "puts"):
+                registry.counter_func(
+                    f"repro_cache_{field}_total",
+                    (lambda f: lambda: getattr(self.disk.stats, f))(field),
+                    "Disk-tier cache counters.",
+                    tier="disk",
+                )
+        if self.judgement_memo is not None:
+            for field in ("hits", "misses"):
+                registry.counter_func(
+                    f"repro_judgement_memo_{field}_total",
+                    (lambda f: lambda: getattr(self.judgement_memo, f))(field),
+                    "Cross-request subterm judgement memo counters.",
+                )
+
     def stats(self) -> Dict[str, Any]:
         """Aggregate + per-shard counters, the ``cache`` block of ``/stats``."""
         totals = CacheStats()

@@ -24,8 +24,13 @@ the high-throughput mode the cluster router uses internally.
 from __future__ import annotations
 
 import json
+import logging
 import socket
 from typing import Any, Dict, List, Optional
+
+from ..obs.metrics import global_registry
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_HOST",
@@ -91,13 +96,24 @@ class ServiceClient:
             if stream is not None:
                 try:
                     stream.close()
-                except OSError:
-                    pass
+                except OSError as error:
+                    # Flushing a buffered writer onto a dead socket fails
+                    # here; the connection is gone either way, but record
+                    # it — a reset mid-close can mean a lost request.
+                    logger.debug("stream close failed: %s", error)
+                    global_registry().counter(
+                        "repro_client_close_errors_total",
+                        "Client stream/socket close failures.",
+                    ).inc()
         if self._socket is not None:
             try:
                 self._socket.close()
-            except OSError:
-                pass
+            except OSError as error:
+                logger.debug("socket close failed: %s", error)
+                global_registry().counter(
+                    "repro_client_close_errors_total",
+                    "Client stream/socket close failures.",
+                ).inc()
         self._socket = self._reader = self._writer = None
 
     def __enter__(self) -> "ServiceClient":
@@ -146,6 +162,20 @@ class ServiceClient:
         """The server's ``/stats`` payload (service/cache/scheduler counters)."""
         return self._checked({"op": "stats"})["stats"]
 
+    def metrics(self, format: Optional[str] = None) -> Dict[str, Any]:
+        """The server's metrics snapshot (``{"op": "metrics"}``).
+
+        Against a single server the response carries ``metrics`` (the
+        registry snapshot); against a cluster router it carries ``router``
+        plus per-slot ``workers`` snapshots.  ``format="prometheus"`` adds
+        a ``prometheus`` member with the text exposition (worker-labeled
+        when routed).
+        """
+        payload: Dict[str, Any] = {"op": "metrics"}
+        if format:
+            payload["format"] = format
+        return self._checked(payload)
+
     def shutdown(self) -> None:
         """Ask the server to stop accepting and exit its serve loop."""
         try:
@@ -161,13 +191,16 @@ class ServiceClient:
         priority: str = "interactive",
         deadline_ms: Optional[float] = None,
         no_cache: bool = False,
+        trace: Any = None,
     ) -> Dict[str, Any]:
         """Analyse one program source; returns the full ``ok`` response.
 
         The response's ``report`` is a
         :meth:`repro.analysis.batch.ProgramReport.to_dict` dictionary;
         ``cached`` / ``coalesced`` tell how the request was served.
-        Raises :class:`ServiceError` (with ``response`` attached) on
+        ``trace=True`` (or a caller-supplied id string) requests a span
+        trace, echoed under the response's ``trace`` key.  Raises
+        :class:`ServiceError` (with ``response`` attached) on
         busy/timeout/error responses.
         """
         payload: Dict[str, Any] = {
@@ -182,6 +215,8 @@ class ServiceClient:
             payload["deadline_ms"] = deadline_ms
         if no_cache:
             payload["no_cache"] = True
+        if trace:
+            payload["trace"] = trace
         return self._checked(payload)
 
     def validate(
@@ -195,6 +230,7 @@ class ServiceClient:
         priority: str = "bulk",
         deadline_ms: Optional[float] = None,
         no_cache: bool = False,
+        trace: Any = None,
     ) -> Dict[str, Any]:
         """Run the differential soundness harness on one program source.
 
@@ -219,6 +255,8 @@ class ServiceClient:
             payload["deadline_ms"] = deadline_ms
         if no_cache:
             payload["no_cache"] = True
+        if trace:
+            payload["trace"] = trace
         return self._checked(payload)
 
 

@@ -116,7 +116,14 @@ def _cluster_worker_main(slot: int, pipe, config: ServiceConfig, host: str) -> N
     """
     import asyncio
 
+    from ..obs.logs import configure_logging
     from .server import AnalysisServer, AnalysisService
+
+    # Each spawned worker configures its own stderr logging, stamped with
+    # its slot so interleaved cluster logs stay attributable.
+    configure_logging(
+        config.log_level, config.log_json, process_name=f"worker-{slot}"
+    )
 
     async def serve() -> None:
         server = AnalysisServer(AnalysisService(config), host=host, port=0)

@@ -36,12 +36,15 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import logging
 import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.cache import AnalysisCache, _LRU
+from ..obs.metrics import MetricsRegistry, render_prometheus
+from ..obs.trace import requested_trace_id
 from .cluster import AnalysisCluster, ClusterConfig, WorkerHandle
 from .server import (
     MAX_REQUEST_BYTES,
@@ -52,6 +55,8 @@ from .server import (
 )
 
 __all__ = ["RouterServer"]
+
+logger = logging.getLogger(__name__)
 
 #: Bound of the route memo (request-body bytes → worker slot).
 ROUTE_MEMO_ENTRIES = 8192
@@ -86,12 +91,22 @@ class _Pending:
     future: Optional["asyncio.Future"] = None
     #: Internal probes (stats, pings) want the decoded object.
     internal: bool = False
+    #: Traced request: the propagated trace id plus the router-side spans
+    #: to splice in front of the worker's spans in the response.
+    trace_id: Optional[str] = None
+    trace_spans: Optional[List[Dict[str, Any]]] = None
 
 
 class _ClientLink:
     """One accepted client connection: reader state + batched writer."""
 
-    def __init__(self, writer: asyncio.StreamWriter, window: int) -> None:
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        window: int,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._metrics = metrics
         self.pipeline = _PipelineWriter(writer, window)
         self.pipeline.start()
         # FIFO of response futures for the sequential (no-id) protocol:
@@ -125,7 +140,19 @@ class _ClientLink:
                 data = await future
             except asyncio.CancelledError:
                 raise
-            except Exception:  # pragma: no cover - futures carry bytes
+            except Exception as error:  # pragma: no cover - futures carry bytes
+                # A response producer failed: the sequential client gets
+                # nothing for this request, which desynchronizes its
+                # request/response pairing — worth more than silence.
+                logger.warning(
+                    "dropping ordered response: %s: %s",
+                    type(error).__name__, error,
+                )
+                if self._metrics is not None:
+                    self._metrics.counter(
+                        "repro_router_dropped_responses_total",
+                        "Ordered responses dropped because their producer failed.",
+                    ).inc()
                 continue
             self.send(data)
 
@@ -203,8 +230,17 @@ class _WorkerLink:
                     continue  # not ours (never happens: we only pipeline)
                 self.outstanding.discard(request_id)
                 self.router._resolve(request_id, tail)
-        except (ConnectionError, OSError, asyncio.LimitOverrunError, ValueError):
-            pass
+        except (ConnectionError, OSError, asyncio.LimitOverrunError, ValueError) as error:
+            # EOF raises no exception; landing here means the transport
+            # failed mid-stream — say so before the restart machinery runs.
+            logger.warning(
+                "worker %d read loop failed: %s: %s",
+                self.slot, type(error).__name__, error,
+            )
+            self.router.metrics.counter(
+                "repro_router_worker_read_failures_total",
+                "Worker connections that failed mid-stream (not clean EOFs).",
+            ).inc()
         finally:
             if self.state == "up":
                 self.state = "restarting"
@@ -232,8 +268,13 @@ class _WorkerLink:
             try:
                 self._writer.close()
                 await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            except (ConnectionError, OSError) as error:
+                # The worker side is usually already gone; note it and
+                # move on — the socket is closed either way.
+                logger.debug(
+                    "worker %d writer close: %s: %s",
+                    self.slot, type(error).__name__, error,
+                )
             self._writer = None
 
 
@@ -264,16 +305,28 @@ class RouterServer:
         self._shutdown: Optional[asyncio.Event] = None
         self._stopping = False
         self.started_at = time.monotonic()
-        self.counters: Dict[str, int] = {
-            "requests": 0,
-            "routed": 0,
-            "route_memo_hits": 0,
-            "local": 0,
-            "shed": 0,
-            "retryable_failures": 0,
-            "redispatched": 0,
-            "worker_failures": 0,
-        }
+        # Router-local registry; the metrics op renders it alongside every
+        # worker's snapshot, labeled worker="router".
+        self.metrics = MetricsRegistry()
+        self.counters = self.metrics.group(
+            "repro_router",
+            [
+                "requests",
+                "routed",
+                "route_memo_hits",
+                "local",
+                "shed",
+                "retryable_failures",
+                "redispatched",
+                "worker_failures",
+            ],
+            "Router admission and supervision counters.",
+        )
+        self.metrics.gauge_func(
+            "repro_router_pending",
+            lambda: len(self._pending),
+            "Forwarded requests awaiting their worker response.",
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -332,7 +385,9 @@ class RouterServer:
     async def _on_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        client = _ClientLink(writer, self.cluster.config.service.pipeline_window)
+        client = _ClientLink(
+            writer, self.cluster.config.service.pipeline_window, self.metrics
+        )
         self._clients.add(client)
         try:
             while True:
@@ -353,16 +408,22 @@ class RouterServer:
                     await self._admit(client, request_id, True, line, tail)
                 else:
                     await self._admit(client, None, False, line, b"," + line[1:])
-        except ConnectionError:
-            pass
+        except ConnectionError as error:
+            # Resets and broken pipes: normal client behaviour under load,
+            # but worth a counter so a flapping client is visible.
+            logger.debug("client connection lost: %s", error)
+            self.metrics.counter(
+                "repro_router_client_resets_total",
+                "Client connections that ended with a reset or broken pipe.",
+            ).inc()
         finally:
             self._clients.discard(client)
             await client.close()
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            except (ConnectionError, OSError) as error:
+                logger.debug("client writer close: %s", error)
 
     async def _admit(
         self,
@@ -378,11 +439,15 @@ class RouterServer:
         ``,`` — identical for equal requests regardless of framing, which
         makes it both the route-memo key and the forwarded frame tail.
         """
-        slot = self._route_memo.get(body)
-        if slot is not None:
-            self.counters["route_memo_hits"] += 1
-            self._forward(client, request_id, pipelined, True, body, slot)
-            return
+        # Traced requests skip the byte-level route memo: the router must
+        # decode them to mint/propagate the trace id and record its spans.
+        traced = b'"trace"' in body
+        if not traced:
+            slot = self._route_memo.get(body)
+            if slot is not None:
+                self.counters["route_memo_hits"] += 1
+                self._forward(client, request_id, pipelined, True, body, slot)
+                return
         try:
             request = json.loads(line)
         except json.JSONDecodeError as error:
@@ -422,6 +487,13 @@ class RouterServer:
             self.counters["local"] += 1
             self._spawn_local(client, request_id, pipelined, raw, self._stats_response())
             return
+        if op == "metrics":
+            self.counters["local"] += 1
+            self._spawn_local(
+                client, request_id, pipelined, raw,
+                self._metrics_response(request.get("format")),
+            )
+            return
         if op == "shutdown":
             self.counters["local"] += 1
             self._respond_local(
@@ -445,6 +517,8 @@ class RouterServer:
                 )
                 return
             kind = request.get("kind", "lnum")
+            trace_id = requested_trace_id(request.get("trace")) if traced else None
+            route_started = time.perf_counter()
             # Both ops route on the *analysis* key of the source, so a
             # program's analyses and validations share a worker — and
             # therefore a parse memo, judgement memo and cache shard.
@@ -458,8 +532,33 @@ class RouterServer:
                 self.cluster.config.service.inference,
             )
             slot = self.cluster.ring.lookup(key)
-            self._route_memo.put(body, slot)
-            self._forward(client, request_id, pipelined, raw, body, slot)
+            if trace_id is None:
+                self._route_memo.put(body, slot)
+                self._forward(client, request_id, pipelined, raw, body, slot)
+                return
+            # Forward the resolved id (never the bare ``true``), so the
+            # worker's echo and the router's spans agree on the trace.
+            # The client's correlation id (still present on canonically
+            # framed lines) must not leak into the worker frame — the
+            # forwarded frame carries the router's own id.
+            request.pop("id", None)
+            request["trace"] = trace_id
+            body = (
+                b","
+                + json.dumps(request, separators=(",", ":")).encode("utf-8")[1:]
+                + b"\n"
+            )
+            spans = [
+                {
+                    "name": "router.route",
+                    "seconds": time.perf_counter() - route_started,
+                    "slot": slot,
+                }
+            ]
+            self._forward(
+                client, request_id, pipelined, raw, body, slot,
+                trace_id=trace_id, trace_spans=spans,
+            )
             return
         self.counters["local"] += 1
         self._respond_local(
@@ -520,6 +619,8 @@ class RouterServer:
         raw: bool,
         body: bytes,
         slot: int,
+        trace_id: Optional[str] = None,
+        trace_spans: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         link = self._links[slot]
         if link.pending >= self.cluster.config.max_pending_per_worker:
@@ -533,7 +634,10 @@ class RouterServer:
             )
             return
         router_id = next(self._sequence)
-        entry = _Pending(link=link, body=body, raw=raw)
+        entry = _Pending(
+            link=link, body=body, raw=raw,
+            trace_id=trace_id, trace_spans=trace_spans,
+        )
         if pipelined:
             entry.client = client
             entry.client_id = request_id
@@ -557,6 +661,29 @@ class RouterServer:
             if entry.future is not None and not entry.future.done():
                 entry.future.set_result(payload)
             return
+        if entry.trace_spans:
+            # Traced responses are decoded once at the router so its own
+            # spans go in front of the worker's (trace order = hop order).
+            try:
+                payload = json.loads(b"{" + tail[1:])
+            except json.JSONDecodeError:  # pragma: no cover - workers emit JSON
+                return
+            block = payload.get("trace")
+            if isinstance(block, dict):
+                block["spans"] = entry.trace_spans + list(block.get("spans", []))
+            else:
+                payload["trace"] = {"id": entry.trace_id, "spans": entry.trace_spans}
+            if entry.future is not None:
+                if not entry.future.done():
+                    entry.future.set_result(
+                        json.dumps(payload, separators=(",", ":")).encode("utf-8")
+                        + b"\n"
+                    )
+                return
+            if entry.client is None or entry.client.closed:
+                return
+            entry.client.send(frame_response(entry.client_id, payload))
+            return
         if entry.future is not None:
             if not entry.future.done():
                 entry.future.set_result(b"{" + tail[1:])
@@ -578,6 +705,11 @@ class RouterServer:
                 entry.future.set_result(None)
             return
         self.counters["retryable_failures"] += 1
+        if entry.trace_spans:
+            response = {
+                **response,
+                "trace": {"id": entry.trace_id, "spans": entry.trace_spans},
+            }
         if entry.future is not None:
             if not entry.future.done():
                 entry.future.set_result(
@@ -603,6 +735,10 @@ class RouterServer:
         if self._stopping:
             return
         self.counters["worker_failures"] += 1
+        logger.warning(
+            "worker %d lost with %d requests in flight; respawning",
+            link.slot, len(link.outstanding),
+        )
         response = _retryable_error(
             f"worker {link.slot} died mid-request; safe to retry"
         )
@@ -630,10 +766,18 @@ class RouterServer:
             try:
                 handle = await loop.run_in_executor(None, self.cluster.spawn, slot)
                 await link.connect(handle)
-            except Exception:
+            except Exception as error:
                 # Spawn failed (resource exhaustion, teardown race): shed
                 # whatever queued meanwhile; the supervisor retries on its
                 # next tick.
+                logger.error(
+                    "respawn of worker %d failed (%s: %s); shedding %d queued",
+                    slot, type(error).__name__, error, len(link.backlog),
+                )
+                self.metrics.counter(
+                    "repro_router_spawn_failures_total",
+                    "Worker respawn attempts that failed.",
+                ).inc()
                 response = _retryable_error(
                     f"worker {slot} is restarting; retry shortly"
                 )
@@ -644,6 +788,7 @@ class RouterServer:
                         self._fail(router_id, entry, response)
                 return
             self.counters["redispatched"] += len(link.outstanding)
+            logger.info("worker %d respawned (generation %d)", slot, link.generation)
 
     async def _supervise(self, slot: int) -> None:
         """Watchdog: process liveness + periodic health-check pings."""
@@ -735,6 +880,39 @@ class RouterServer:
         stats = await self.aggregate_stats()
         return {"status": "ok", "op": "stats", "stats": stats}
 
+    async def _metrics_response(self, fmt: Optional[str] = None) -> Dict[str, Any]:
+        """Every worker's registry snapshot plus the router's own.
+
+        The structured response keeps the snapshots separate (labeled by
+        slot); the Prometheus rendering merges them under shared metric
+        headers with a ``worker`` label distinguishing the series.
+        """
+        probes = await asyncio.gather(
+            *(
+                self._probe(slot, {"op": "metrics"}, STATS_TIMEOUT)
+                for slot in range(self.cluster.config.workers)
+            )
+        )
+        router_snapshot = self.metrics.to_dict()
+        workers: List[Dict[str, Any]] = []
+        snapshots = [({"worker": "router"}, router_snapshot)]
+        for slot, response in enumerate(probes):
+            block = None
+            if response is not None and response.get("status") == "ok":
+                block = response.get("metrics")
+            workers.append({"slot": slot, "metrics": block})
+            if block is not None:
+                snapshots.append(({"worker": str(slot)}, block))
+        out: Dict[str, Any] = {
+            "status": "ok",
+            "op": "metrics",
+            "router": router_snapshot,
+            "workers": workers,
+        }
+        if fmt == "prometheus":
+            out["prometheus"] = render_prometheus(snapshots)
+        return out
+
     async def aggregate_stats(self) -> Dict[str, Any]:
         """Summed per-worker counters plus cluster health, for ``/stats``."""
         probes = await asyncio.gather(
@@ -746,6 +924,7 @@ class RouterServer:
         service: Dict[str, Any] = {}
         cache: Dict[str, Any] = {}
         scheduler: Dict[str, Any] = {}
+        slow_requests: List[Dict[str, Any]] = []
         inflight = 0
         workers: List[Dict[str, Any]] = []
         for slot, response in enumerate(probes):
@@ -768,7 +947,14 @@ class RouterServer:
             _merge_counters(cache, block.get("cache", {}))
             _merge_counters(scheduler, block.get("scheduler", {}))
             inflight += block.get("inflight", 0)
+            for entry in block.get("slow_requests", []) or []:
+                if isinstance(entry, dict):
+                    slow_requests.append({**entry, "worker": slot})
         cache.pop("per_shard", None)
+        # Cluster-wide slow log: every worker's ring buffer, slowest first,
+        # bounded by the per-worker buffer size.
+        slow_requests.sort(key=lambda entry: entry.get("seconds", 0.0), reverse=True)
+        del slow_requests[max(1, self.cluster.config.service.slow_log_entries):]
         memo = cache.get("judgement_memo")
         if isinstance(memo, dict):
             probes_total = memo.get("hits", 0) + memo.get("misses", 0)
@@ -779,6 +965,7 @@ class RouterServer:
             "inflight": inflight,
             "cache": cache,
             "scheduler": scheduler,
+            "slow_requests": slow_requests,
             "cluster": {
                 "workers": self.cluster.config.workers,
                 "alive": sum(1 for entry in workers if entry["alive"]),

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import logging
 import time
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
@@ -43,6 +44,9 @@ from typing import Any, Dict, List, Optional
 from ..analysis.batch import BatchItem, PoolHandle, ProgramReport, analyze_item
 from ..analysis.cache import AnalysisCache
 from ..core.inference import InferenceConfig
+from ..obs.metrics import CounterGroup, MetricsRegistry
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DeadlineExceeded",
@@ -86,6 +90,9 @@ class Job:
     #: Extra work parameters (the validation sampling options), pickled to
     #: process-pool workers alongside the item.
     params: Optional[Dict[str, Any]] = None
+    #: Time spent queued (stamped by the dispatching worker); feeds the
+    #: ``queue.wait`` trace span and the queue-wait histogram.
+    queue_wait_seconds: Optional[float] = None
 
     def remaining(self, now: Optional[float] = None) -> Optional[float]:
         if self.deadline is None:
@@ -105,6 +112,7 @@ class Scheduler:
         judgement_memo=None,
         memo_entries: Optional[int] = None,
         engine: str = "auto",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.pool = pool or PoolHandle(1)
         # With a thread-mode pool (jobs=1) the worker runs in-process, so
@@ -136,14 +144,34 @@ class Scheduler:
         self._queue: Optional["asyncio.PriorityQueue"] = None
         self._sequence = itertools.count()
         self._tasks: List[asyncio.Task] = []
-        self.counters: Dict[str, int] = {
-            "submitted": 0,
-            "completed": 0,
-            "failed": 0,
-            "shed": 0,
-            "expired": 0,
-        }
-        self.lane_counters: Dict[str, int] = {name: 0 for name in PRIORITY_NAMES}
+        # Counter storage lives in the (possibly shared) metrics registry;
+        # the dict-shaped views keep the `counters["x"] += 1` call sites
+        # and the /stats block shape unchanged.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.counters = self.metrics.group(
+            "repro_scheduler",
+            ["submitted", "completed", "failed", "shed", "expired"],
+            "Scheduler lifecycle counters.",
+        )
+        self.lane_counters = CounterGroup(
+            {
+                name: self.metrics.counter(
+                    "repro_scheduler_lane_requests_total",
+                    "Submissions per priority lane.",
+                    lane=name,
+                )
+                for name in PRIORITY_NAMES
+            }
+        )
+        self._queue_wait = self.metrics.histogram(
+            "repro_queue_wait_seconds",
+            "Time jobs spent queued before dispatch.",
+        )
+        self.metrics.gauge_func(
+            "repro_scheduler_queue_depth",
+            lambda: self._queue.qsize() if self._queue is not None else 0,
+            "Jobs currently queued.",
+        )
 
     def _ensure_queue(self) -> "asyncio.PriorityQueue":
         if self._queue is None:
@@ -198,12 +226,16 @@ class Scheduler:
         queue = self._ensure_queue()
         while True:
             _priority, _sequence, job = await queue.get()
+            job.queue_wait_seconds = max(0.0, time.monotonic() - job.enqueued_at)
+            self._queue_wait.observe(job.queue_wait_seconds)
             try:
                 if job.future.cancelled():
                     continue
                 remaining = job.remaining()
                 if remaining is not None and remaining <= 0:
                     self.counters["expired"] += 1
+                    logger.debug("job %s expired after %.3fs queued",
+                                 job.key[:16], job.queue_wait_seconds)
                     job.future.set_exception(
                         DeadlineExceeded("deadline passed while queued")
                     )
@@ -246,6 +278,10 @@ class Scheduler:
                     report = await asyncio.wrap_future(future)
                 except Exception as error:  # pragma: no cover - defensive
                     self.counters["failed"] += 1
+                    logger.warning(
+                        "job %s failed: %s: %s",
+                        job.key[:16], type(error).__name__, error,
+                    )
                     if isinstance(error, BrokenExecutor):
                         # One crashed worker process poisons the whole
                         # pool; rebuild so the next job gets a fresh one.

@@ -68,7 +68,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
@@ -85,6 +87,8 @@ from ..analysis.cache import (
 from ..core import ast as A
 from ..core.errors import LnumError
 from ..core.inference import InferenceConfig, JudgementMemo
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import RequestTrace, requested_trace_id
 from .cachefarm import CacheFarm, DEFAULT_SHARD_ENTRIES, DEFAULT_SHARDS
 from .scheduler import (
     PRIORITY_NAMES,
@@ -93,6 +97,8 @@ from .scheduler import (
     Scheduler,
     SchedulerBusy,
 )
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "AnalysisServer",
@@ -305,6 +311,16 @@ class ServiceConfig:
     #: memo's cross-request reuse (memoized inference stays interpreted)
     #: and compiles only memo-less runs.
     engine: str = "auto"
+    #: Requests slower than this (seconds, end to end) land in the
+    #: in-memory slow-request ring buffer surfaced as
+    #: ``/stats → slow_requests`` (0 disables the log).
+    slow_request_seconds: float = 1.0
+    #: Ring-buffer capacity of the slow-request log.
+    slow_log_entries: int = 64
+    #: ``repro serve --log-level``: debug/info/warning/error.
+    log_level: str = "info"
+    #: ``repro serve --log-json``: one JSON object per stderr log line.
+    log_json: bool = False
 
 
 class AnalysisService:
@@ -339,6 +355,11 @@ class AnalysisService:
             disk=self._analysis_cache if self.config.cache_dir else None,
             judgement_memo=self.judgement_memo,
         )
+        # One registry per service instance: every counter below, the
+        # scheduler's lanes and queue-wait histogram, and the cache farm's
+        # collector callbacks all land here, so the `{"op": "metrics"}`
+        # verb and the Prometheus text see one coherent snapshot.
+        self.metrics = MetricsRegistry()
         self.pool = PoolHandle(self.config.jobs)
         self.scheduler = Scheduler(
             pool=self.pool,
@@ -347,6 +368,7 @@ class AnalysisService:
             judgement_memo=self.judgement_memo,
             memo_entries=self.config.judgement_memo_entries,
             engine=self.config.engine,
+            metrics=self.metrics,
         )
         self._inflight: Dict[str, Job] = {}
         # Hot-path memos for pipelined requests, touched only from the
@@ -358,18 +380,40 @@ class AnalysisService:
         self._hot_enabled = self.config.hot_key_entries > 0
         self._hot_reports = _LRU(max(0, self.config.hot_report_entries) or 1)
         self._hot_reports_enabled = self.config.hot_report_entries > 0
-        self.counters: Dict[str, int] = {
-            "requests": 0,
-            "analyze_requests": 0,
-            "validate_requests": 0,
-            "cache_hits": 0,
-            "coalesced": 0,
-            "scheduled": 0,
-            "inferences": 0,
-            "busy": 0,
-            "timeouts": 0,
-            "errors": 0,
-        }
+        # Dict-shaped view over registry counters: `counters["x"] += 1`
+        # and `dict(self.counters)` (the /stats block) both still work.
+        self.counters = self.metrics.group(
+            "repro_service",
+            [
+                "requests",
+                "analyze_requests",
+                "validate_requests",
+                "cache_hits",
+                "coalesced",
+                "scheduled",
+                "inferences",
+                "busy",
+                "timeouts",
+                "errors",
+            ],
+            "Service admission counters.",
+        )
+        self.farm.register_metrics(self.metrics)
+        parse_stats = self._analysis_cache.parse_stats
+        for field_name in ("hits", "misses"):
+            self.metrics.counter_func(
+                f"repro_parse_cache_{field_name}_total",
+                (lambda f: lambda: getattr(parse_stats, f))(field_name),
+                "Shared parse-memo counters.",
+            )
+        self.metrics.gauge_func(
+            "repro_service_inflight",
+            lambda: len(self._inflight),
+            "Scheduled jobs whose futures have not resolved.",
+        )
+        #: Ring buffer of the slowest recent requests (op, key, status,
+        #: seconds), surfaced as ``/stats → slow_requests``.
+        self._slow_log: "deque" = deque(maxlen=max(1, self.config.slow_log_entries))
         self.started_at = time.monotonic()
 
     # -- lifecycle ----------------------------------------------------------
@@ -422,10 +466,13 @@ class AnalysisService:
         self.counters["requests"] += 1
         self.counters[f"{op}_requests"] += 1
         self.counters["cache_hits"] += 1
+        elapsed = time.perf_counter() - started
+        self._observe_cache_lookup("hot", elapsed)
+        self._observe_request(op, "ok", elapsed)
         return (
             b',"status":"ok","op":"%s","key":"%s","cached":true,'
             b'"coalesced":false,"seconds":%.6f,"report":'
-            % (op.encode("ascii"), key.encode("ascii"), time.perf_counter() - started)
+            % (op.encode("ascii"), key.encode("ascii"), elapsed)
             + self._report_bytes(key, report)
             + b"}\n"
         )
@@ -453,6 +500,10 @@ class AnalysisService:
         op = response.get("op")
         if op not in ("analyze", "validate") or request.get("no_cache"):
             return
+        if "trace" in request:
+            # A traced request must take the full handle path every time —
+            # the hot-path byte memo cannot produce its spans.
+            return
         self._hot_keys.put(body, (op, response["key"]))
 
     # -- dispatch ------------------------------------------------------------
@@ -466,14 +517,33 @@ class AnalysisService:
         the caller's connection.
         """
         self.counters["requests"] += 1
+        started = time.perf_counter()
         try:
-            return await self._dispatch(request)
+            response = await self._dispatch(request)
         except asyncio.CancelledError:
             raise
         except Exception as error:
-            return self._error(
+            response = self._error(
                 f"internal error: {type(error).__name__}: {error}", code=500
             )
+        elapsed = time.perf_counter() - started
+        op = request.get("op", "analyze") if isinstance(request, dict) else "invalid"
+        self._observe_request(op, response.get("status", "error"), elapsed)
+        threshold = self.config.slow_request_seconds
+        if threshold and elapsed >= threshold:
+            entry = {
+                "op": op,
+                "status": response.get("status"),
+                "key": response.get("key"),
+                "seconds": elapsed,
+                "unix_time": time.time(),
+            }
+            self._slow_log.append(entry)
+            logger.warning(
+                "slow request: op=%s status=%s %.3fs key=%s",
+                op, entry["status"], elapsed, entry["key"],
+            )
+        return response
 
     async def _dispatch(self, request: Any) -> Dict[str, Any]:
         if not isinstance(request, dict):
@@ -485,6 +555,14 @@ class AnalysisService:
             # disk_usage() scans the cache directory — off the loop.
             stats = await asyncio.get_running_loop().run_in_executor(None, self.stats)
             return {"status": "ok", "op": "stats", "stats": stats}
+        if op == "metrics":
+            snapshot = self.metrics.to_dict()
+            response = {"status": "ok", "op": "metrics", "metrics": snapshot}
+            if request.get("format") == "prometheus":
+                from ..obs.metrics import render_prometheus
+
+                response["prometheus"] = render_prometheus([({}, snapshot)])
+            return response
         if op == "shutdown":
             return {"status": "ok", "op": "shutdown"}
         if op == "analyze":
@@ -497,10 +575,27 @@ class AnalysisService:
         self.counters["errors"] += 1
         return {"status": "error", "code": code, "error": message}
 
+    def _observe_request(self, op: str, outcome: str, seconds: float) -> None:
+        self.metrics.histogram(
+            "repro_request_seconds",
+            "End-to-end request latency by op and outcome.",
+            op=str(op),
+            outcome=str(outcome),
+        ).observe(seconds)
+
+    def _observe_cache_lookup(self, tier: str, seconds: float) -> None:
+        self.metrics.histogram(
+            "repro_cache_lookup_seconds",
+            "Result-cache lookup latency by serving tier.",
+            tier=tier,
+        ).observe(seconds)
+
     async def _handle_analyze(
         self, request: Dict[str, Any], op: str = "analyze"
     ) -> Dict[str, Any]:
         self.counters[f"{op}_requests"] += 1
+        trace_id = requested_trace_id(request.get("trace"))
+        trace = RequestTrace(trace_id) if trace_id else None
         source = request.get("source")
         if not isinstance(source, str) or not source.strip():
             return self._error("'source' must be a non-empty string")
@@ -548,6 +643,8 @@ class AnalysisService:
         # program — so it runs on the executor, keeping the event loop
         # free to serve other connections' memory-cache hits meanwhile.
         key = await loop.run_in_executor(None, self.request_key, source, kind)
+        if trace is not None:
+            trace.add("normalize", time.perf_counter() - started)
         if op == "validate":
             # Validation results are a different value type under different
             # parameters, so they live under their own content key.
@@ -556,18 +653,26 @@ class AnalysisService:
             )
 
         if not no_cache:
+            lookup_started = time.perf_counter()
+            tier = "miss"
             if self.farm.disk is None:
                 cached = self.farm.get(key)  # memory-only: cheap, inline
+                if cached is not None:
+                    tier = "memory"
             else:
                 cached = self.farm.peek(key)
-                if cached is None:
+                if cached is not None:
+                    tier = "memory"
+                else:
                     # Disk-tier pickle reads happen off the loop too.  The
                     # exact-text alias only exists for analyze results (it
                     # is the key `repro batch` uses for the same program).
                     cached = await loop.run_in_executor(
                         None, self._probe_disk_tiers, key, source, kind, op
                     )
-                    if cached is None:
+                    if cached is not None:
+                        tier = "disk"
+                    else:
                         # Re-check the memory tier: an in-flight duplicate
                         # may have completed (stored its report and
                         # deregistered) while the disk probe ran off-loop;
@@ -576,9 +681,15 @@ class AnalysisService:
                         # ``count=False``: the probe above already recorded
                         # this lookup's miss.
                         cached = self.farm.peek(key, count=False)
+                        if cached is not None:
+                            tier = "memory"
+            lookup_seconds = time.perf_counter() - lookup_started
+            self._observe_cache_lookup(tier, lookup_seconds)
+            if trace is not None:
+                trace.add("cache.lookup", lookup_seconds, tier=tier)
             if cached is not None:
                 self.counters["cache_hits"] += 1
-                return self._ok(cached, key, started, op, cached=True)
+                return self._ok(cached, key, started, op, cached=True, trace=trace)
 
         if deadline_disabled:
             deadline_seconds: Optional[float] = None
@@ -598,6 +709,8 @@ class AnalysisService:
             # job's queue deadline so shared work is not dropped while a
             # live waiter still has time left.
             self.counters["coalesced"] += 1
+            if trace is not None:
+                trace.add("coalesce", 0.0)
             if inflight.deadline is not None:
                 if deadline_seconds is None:
                     inflight.deadline = None
@@ -606,7 +719,8 @@ class AnalysisService:
                         inflight.deadline, time.monotonic() + deadline_seconds
                     )
             return await self._await_report(
-                inflight.future, deadline_seconds, key, started, op, coalesced=True
+                inflight.future, deadline_seconds, key, started, op,
+                coalesced=True, trace=trace, job=inflight,
             )
 
         deadline: Optional[float] = None
@@ -643,9 +757,14 @@ class AnalysisService:
             if not job.future.done():
                 job.future.set_exception(busy)
             self.counters["busy"] += 1
-            return {"status": "busy", "code": 429, "key": key}
+            response = {"status": "busy", "code": 429, "key": key}
+            if trace is not None:
+                response["trace"] = trace.to_dict()
+            return response
         self.counters["scheduled"] += 1
-        return await self._await_report(job.future, deadline_seconds, key, started, op)
+        return await self._await_report(
+            job.future, deadline_seconds, key, started, op, trace=trace, job=job
+        )
 
     async def _await_report(
         self,
@@ -655,6 +774,8 @@ class AnalysisService:
         started: float,
         op: str = "analyze",
         coalesced: bool = False,
+        trace: Optional[RequestTrace] = None,
+        job: Optional[Job] = None,
     ) -> Dict[str, Any]:
         """Wait on a (possibly shared) job future and shape the response.
 
@@ -672,13 +793,21 @@ class AnalysisService:
                 report = await asyncio.shield(future)
         except (asyncio.TimeoutError, DeadlineExceeded):
             self.counters["timeouts"] += 1
-            return {"status": "timeout", "code": 504, "key": key}
+            response = {"status": "timeout", "code": 504, "key": key}
+            if trace is not None:
+                response["trace"] = trace.to_dict()
+            return response
         except SchedulerBusy:
             self.counters["busy"] += 1
-            return {"status": "busy", "code": 429, "key": key}
+            response = {"status": "busy", "code": 429, "key": key}
+            if trace is not None:
+                response["trace"] = trace.to_dict()
+            return response
         except Exception as error:  # pragma: no cover - defensive
             return self._error(f"analysis failed: {error}", code=500)
-        return self._ok(report, key, started, op, coalesced=coalesced)
+        return self._ok(
+            report, key, started, op, coalesced=coalesced, trace=trace, job=job
+        )
 
     def _finish_job(self, job: Job, no_cache: bool, future: "asyncio.Future") -> None:
         """Done-callback for every scheduled job (runs on the event loop)."""
@@ -687,9 +816,24 @@ class AnalysisService:
         if future.cancelled() or future.exception() is not None:
             return
         self.counters["inferences"] += 1
+        report = future.result()
+        phases = getattr(report, "phases", None)
+        if phases:
+            for phase, value in phases.items():
+                if phase == "memo_hits":
+                    if value:
+                        self.metrics.counter(
+                            "repro_engine_memo_hits_total",
+                            "Judgement-memo hits across instrumented inferences.",
+                        ).inc(int(value))
+                    continue
+                self.metrics.histogram(
+                    "repro_engine_phase_seconds",
+                    "Per-inference engine phase durations.",
+                    phase=phase,
+                ).observe(value)
         if no_cache:
             return
-        report = future.result()
         self.farm.put(job.key, report, write_disk=False)
         if self.farm.disk is not None:
             # Persist asynchronously (pickle writes + budget eviction can
@@ -755,8 +899,10 @@ class AnalysisService:
         op: str = "analyze",
         cached: bool = False,
         coalesced: bool = False,
+        trace: Optional[RequestTrace] = None,
+        job: Optional[Job] = None,
     ) -> Dict[str, Any]:
-        return {
+        response = {
             "status": "ok",
             "op": op,
             "key": key,
@@ -765,6 +911,29 @@ class AnalysisService:
             "seconds": time.perf_counter() - started,
             "report": report.to_dict(),
         }
+        if trace is not None:
+            if job is not None and job.queue_wait_seconds is not None:
+                trace.add("queue.wait", job.queue_wait_seconds)
+            phases = getattr(report, "phases", None)
+            if phases and not cached:
+                # A cached report's phases describe whatever inference
+                # originally produced it, not this request — the tier span
+                # already tells that story.
+                engine = "compiled" if "execute" in phases else "interpreted"
+                trace.add(
+                    "engine.select", 0.0,
+                    requested=self.config.engine, engine=engine,
+                )
+                memo_hits = phases.get("memo_hits")
+                for phase in ("parse", "lower", "execute", "convert", "interpret"):
+                    if phase not in phases:
+                        continue
+                    attributes: Dict[str, Any] = {}
+                    if phase == "interpret" and memo_hits is not None:
+                        attributes["memo_hits"] = memo_hits
+                    trace.add(f"engine.{phase}", phases[phase], **attributes)
+            response["trace"] = trace.to_dict()
+        return response
 
     # -- reporting -----------------------------------------------------------
 
@@ -781,6 +950,9 @@ class AnalysisService:
             # tables, fingerprint/free-variable memos, exactmath caches):
             # occupancy vs. caps, so a long-lived server is observable.
             "memos": memo_report(),
+            # Ring buffer of requests slower than
+            # ``ServiceConfig.slow_request_seconds``, newest last.
+            "slow_requests": list(self._slow_log),
         }
 
 
