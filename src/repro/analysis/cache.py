@@ -25,7 +25,9 @@ format, or bumping the schema constant (done whenever the analysis code
 changes in a result-visible way) each produce a different key, so stale
 entries are never returned — they simply become unreachable garbage that
 :meth:`AnalysisCache.clear` removes.  Unreadable or truncated pickle files
-are treated as misses and deleted.
+are treated as misses and quarantined aside as ``<key>.corrupt`` (bounded
+per directory), so the bad bytes stay inspectable while the key heals on
+the next write.
 
 Term-keyed entries use :func:`term_key`: for a hash-consed term
 (:func:`repro.core.ast.intern_term`) the structural digest is memoized by
@@ -58,6 +60,7 @@ from typing import Any, List, Optional, Tuple
 from ..core import ast as A
 from ..core.inference import InferenceConfig
 from ..core.parser import Program, parse_program
+from ..faults import active_plan
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -71,7 +74,21 @@ __all__ = [
     "make_key",
     "memo_report",
     "default_cache_directory",
+    "quarantined_total",
 ]
+
+#: Most ``*.corrupt`` quarantine files kept per cache directory; beyond
+#: this the corrupt entry is unlinked instead (the quarantine exists for
+#: post-mortem inspection, not as a second unbounded tier).
+QUARANTINE_MAX_FILES = 64
+
+_QUARANTINED = [0]
+_QUARANTINE_LOCK = threading.Lock()
+
+
+def quarantined_total() -> int:
+    """Corrupt disk entries quarantined process-wide (for metrics/stats)."""
+    return _QUARANTINED[0]
 
 #: Bump this whenever the analysis pipeline changes in a way that affects
 #: results; it participates in every cache key, so old on-disk entries are
@@ -157,6 +174,12 @@ def memo_report() -> dict:
         "ast": ast_memo_stats(),
         "grades": grade_memo_stats(),
         "compiled": compiled_memo_stats(),
+        # Corrupt disk-cache entries set aside as *.corrupt files
+        # (process-wide, across every cache instance).
+        "cache_quarantine": {
+            "entries": quarantined_total(),
+            "cap_per_directory": QUARANTINE_MAX_FILES,
+        },
     }
     exactmath_report = {}
     for name in dir(exactmath):
@@ -269,6 +292,8 @@ class AnalysisCache:
         #: eviction has its own counter so operators can tell an undersized
         #: memory tier from disk-budget churn.
         self.disk_evictions = 0
+        #: Corrupt disk entries this instance renamed to ``*.corrupt``.
+        self.quarantined = 0
         self.stats = CacheStats()
         self.parse_stats = CacheStats()
         self._memory = _LRU(memory_entries)
@@ -319,7 +344,7 @@ class AnalysisCache:
             self._disk_totals = None
         if self.directory and os.path.isdir(self.directory):
             for name in os.listdir(self.directory):
-                if name.endswith(".pkl"):
+                if name.endswith((".pkl", ".corrupt")):
                     try:
                         os.unlink(os.path.join(self.directory, name))
                     except OSError:
@@ -373,12 +398,51 @@ class AnalysisCache:
             # A truncated, corrupt or stale entry.  ``pickle.load`` raises
             # arbitrary exception types on garbage input (ValueError,
             # UnicodeDecodeError, ...), so any failure here is treated the
-            # same way: discard the file and report a miss.
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            # same way: quarantine the file and report a miss.
+            self._quarantine(path)
             return _MISSING
+
+    def _quarantine(self, path: str) -> None:
+        """Set a corrupt entry aside as ``<key>.corrupt`` (bounded).
+
+        Renaming instead of deleting keeps the bytes for post-mortems
+        (how did garbage end up in the cache?) while still clearing the
+        key — the ``.pkl`` name is gone, so the next request re-computes
+        and re-persists cleanly.  At most :data:`QUARANTINE_MAX_FILES`
+        quarantine files are kept per directory; beyond that cap the
+        corrupt entry is simply unlinked.
+        """
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        if path.endswith(".pkl"):
+            target = path[: -len(".pkl")] + ".corrupt"
+        else:
+            target = path + ".corrupt"
+        try:
+            kept = sum(
+                1 for name in os.listdir(self.directory) if name.endswith(".corrupt")
+            )
+        except OSError:
+            kept = QUARANTINE_MAX_FILES
+        try:
+            if kept < QUARANTINE_MAX_FILES:
+                os.replace(path, target)
+            else:
+                os.unlink(path)
+        except OSError:
+            return
+        with _QUARANTINE_LOCK:
+            _QUARANTINED[0] += 1
+        with self._lock:
+            self.quarantined += 1
+            if self._disk_totals is not None:
+                entries, total_bytes = self._disk_totals
+                self._disk_totals = (
+                    max(0, entries - 1),
+                    max(0, total_bytes - size),
+                )
 
     def _write_disk(self, key: str, value: Any) -> None:
         if not self.directory:
@@ -402,6 +466,12 @@ class AnalysisCache:
                     pass
                 raise
             self._account_disk_write(path, previous_size)
+            plan = active_plan()
+            if plan is not None and plan.should("corrupt_cache"):
+                # Fault injection: scribble over the entry just written,
+                # so a later disk read exercises the quarantine path.
+                with open(path, "wb") as handle:
+                    handle.write(b"\x00repro corrupt-cache fault\x00")
         except (OSError, pickle.PickleError):
             # Persistence is best-effort: a read-only or full disk must not
             # fail the analysis itself.

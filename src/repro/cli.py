@@ -21,6 +21,7 @@ same information the paper's prototype reports.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence
@@ -170,6 +171,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit structured JSON log lines instead of plain text",
     )
+    serve.add_argument(
+        "--faults",
+        default=os.environ.get("REPRO_FAULTS"),
+        metavar="SPEC",
+        help="deterministic fault-injection plan, e.g. "
+        "'seed=42;kill_worker=@40;corrupt_cache=0.05' "
+        "(default: $REPRO_FAULTS; see docs/robustness.md)",
+    )
     _add_instantiation_arguments(serve)
 
     query = subparsers.add_parser(
@@ -191,6 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--no-cache", action="store_true", help="bypass the server-side result cache"
+    )
+    query.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry retryable failures (worker death, open circuits, "
+        "transport errors) up to N times with capped exponential backoff",
+    )
+    query.add_argument(
+        "--retry-budget", type=float, default=30.0, metavar="SECONDS",
+        help="total backoff sleep allowed across all retries (default 30)",
     )
     query.add_argument(
         "--validate",
@@ -537,6 +555,7 @@ def _command_serve(arguments: argparse.Namespace) -> int:
         engine=arguments.engine,
         log_level=arguments.log_level,
         log_json=arguments.log_json,
+        faults=arguments.faults or None,
     )
     server = AnalysisServer(
         AnalysisService(config), host=arguments.host, port=arguments.port
@@ -579,6 +598,7 @@ def _serve_cluster(arguments: argparse.Namespace) -> int:
         engine=arguments.engine,
         log_level=arguments.log_level,
         log_json=arguments.log_json,
+        faults=arguments.faults or None,
     )
     router = RouterServer(
         config=ClusterConfig(workers=arguments.workers, service=service),
@@ -626,6 +646,7 @@ def _command_query(arguments: argparse.Namespace) -> int:
 
     from .analysis.batch import SOURCE_SUFFIXES
     from .service.client import (
+        RetryPolicy,
         ServiceClient,
         ServiceError,
         render_report,
@@ -646,10 +667,15 @@ def _command_query(arguments: argparse.Namespace) -> int:
     timeout = 120.0
     if arguments.deadline_ms is not None:
         timeout = max(timeout, arguments.deadline_ms / 1000.0 + 30.0)
+    retry = None
+    if arguments.retries > 0:
+        retry = RetryPolicy(
+            retries=arguments.retries, budget_seconds=arguments.retry_budget
+        )
     exit_code = 0
     try:
         with ServiceClient(
-            host=arguments.host, port=arguments.port, timeout=timeout
+            host=arguments.host, port=arguments.port, timeout=timeout, retry=retry
         ) as client:
             for path in arguments.paths:
                 source = _read_source(path)

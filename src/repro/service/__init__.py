@@ -21,7 +21,10 @@ request lifecycle is::
 * :mod:`repro.service.router` — the front-end that shards requests over
   the fleet by content key, with supervision and hot restarts;
 * :mod:`repro.service.client` — the blocking client library behind
-  ``repro query``, including the pipelined multiplexing client.
+  ``repro query``, including the pipelined multiplexing client;
+* :mod:`repro.service.resilience` — retry/backoff policies, per-slot
+  circuit breakers and deadline propagation (see ``docs/robustness.md``
+  and :mod:`repro.faults` for the deterministic chaos layer).
 
 See the "Service layer" and "Cluster layer" sections of
 ``docs/architecture.md`` for the data-flow diagrams and
@@ -32,6 +35,7 @@ See the "Service layer" and "Cluster layer" sections of
 from .cachefarm import CacheFarm
 from .client import DEFAULT_PORT, PipelinedClient, ServiceClient, ServiceError
 from .cluster import AnalysisCluster, ClusterConfig, HashRing, WorkerHandle
+from .resilience import CircuitBreaker, RetryPolicy
 from .router import RouterServer
 from .scheduler import (
     PRIORITY_BULK,
@@ -47,6 +51,7 @@ __all__ = [
     "AnalysisServer",
     "AnalysisService",
     "CacheFarm",
+    "CircuitBreaker",
     "ClusterConfig",
     "DEFAULT_PORT",
     "DeadlineExceeded",
@@ -54,6 +59,7 @@ __all__ = [
     "PRIORITY_BULK",
     "PRIORITY_INTERACTIVE",
     "PipelinedClient",
+    "RetryPolicy",
     "RouterServer",
     "Scheduler",
     "SchedulerBusy",

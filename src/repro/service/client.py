@@ -26,9 +26,11 @@ from __future__ import annotations
 import json
 import logging
 import socket
+import time
 from typing import Any, Dict, List, Optional
 
 from ..obs.metrics import global_registry
+from .resilience import RetryPolicy, retryable_response
 
 logger = logging.getLogger(__name__)
 
@@ -36,6 +38,7 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "PipelinedClient",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "render_report",
@@ -67,10 +70,15 @@ class ServiceClient:
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         timeout: Optional[float] = 120.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Backoff policy for retryable failures (``None`` disables).
+        #: Safe for analysis traffic: requests are content-addressed and
+        #: idempotent, so a retry coalesces or hits the cache.
+        self.retry = retry
         self._socket: Optional[socket.socket] = None
         self._reader = None
         self._writer = None
@@ -87,6 +95,10 @@ class ServiceClient:
                 raise ServiceError(
                     f"cannot connect to {self.host}:{self.port}: {error}"
                 ) from error
+            # The timeout must govern every read/write on the established
+            # connection, not just the handshake: a worker that accepts
+            # and then hangs would otherwise stall readline() forever.
+            self._socket.settimeout(self.timeout)
             self._reader = self._socket.makefile("rb")
             self._writer = self._socket.makefile("wb")
         return self
@@ -140,9 +152,12 @@ class ServiceClient:
         try:
             return json.loads(line)
         except json.JSONDecodeError as error:
+            # A truncated/garbled frame desynchronizes the whole stream:
+            # drop the connection so a retry starts from a clean one.
+            self.close()
             raise ServiceError(f"malformed response: {error}") from error
 
-    def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+    def _checked_once(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         response = self.request(payload)
         status = response.get("status")
         if status != "ok":
@@ -152,6 +167,53 @@ class ServiceClient:
                 response=response,
             )
         return response
+
+    def _checked(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """One request with the retry policy applied to retryable failures.
+
+        Retries cover transport errors (connection refused/reset/EOF) and
+        responses the server marks ``retryable`` — the 503 contract the
+        cluster router mints on worker death and open circuit breakers.
+        A ``deadline_ms`` budget in the payload is decremented by the
+        time already burned before each retry, so retrying never extends
+        the end-to-end deadline the caller asked for.
+        """
+        schedule = self.retry.schedule() if self.retry is not None else []
+        if not schedule:
+            return self._checked_once(payload)
+        started = time.monotonic()
+        deadline_ms = payload.get("deadline_ms")
+        has_budget = isinstance(deadline_ms, (int, float)) and deadline_ms > 0
+        attempt = 0
+        while True:
+            try:
+                return self._checked_once(payload)
+            except ServiceError as error:
+                if attempt >= len(schedule) or not retryable_response(error.response):
+                    if attempt > 0:
+                        global_registry().counter(
+                            "repro_client_retries_exhausted_total",
+                            "Requests that failed after exhausting their retries.",
+                        ).inc()
+                    raise
+                delay = schedule[attempt]
+                if has_budget:
+                    burned = (time.monotonic() - started + delay) * 1000.0
+                    if burned >= deadline_ms:
+                        raise  # out of deadline budget: surface the failure
+                    payload = {**payload, "deadline_ms": deadline_ms - burned}
+                attempt += 1
+                global_registry().counter(
+                    "repro_client_retries_total",
+                    "Retry attempts after retryable failures.",
+                ).inc()
+                logger.debug(
+                    "retrying after %s (attempt %d/%d, %.0f ms backoff)",
+                    error, attempt, len(schedule), delay * 1000.0,
+                )
+                time.sleep(delay)
+                # Transport failures already closed the socket; connect()
+                # in request() re-establishes it for the next attempt.
 
     # -- operations ----------------------------------------------------------
 
@@ -281,10 +343,16 @@ class PipelinedClient(ServiceClient):
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         timeout: Optional[float] = 120.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        super().__init__(host, port, timeout)
+        super().__init__(host, port, timeout, retry)
         self._next_id = 0
         self._responses: Dict[int, Dict[str, Any]] = {}
+        # Retry state: the encoded frame of every request still in flight
+        # (resubmitted verbatim — same id — after a retryable failure or a
+        # dropped connection) and the per-request attempt counters.
+        self._frames: Dict[int, bytes] = {}
+        self._attempts: Dict[int, int] = {}
 
     def submit(self, payload: Dict[str, Any]) -> int:
         """Send one request without waiting; returns its correlation id.
@@ -300,8 +368,11 @@ class PipelinedClient(ServiceClient):
             line = '{"id":%d}\n' % request_id
         else:
             line = '{"id":%d,' % request_id + body[1:] + "\n"
+        frame = line.encode("utf-8")
+        if self.retry is not None:
+            self._frames[request_id] = frame
         try:
-            self._writer.write(line.encode("utf-8"))
+            self._writer.write(frame)
         except OSError as error:
             self.close()
             raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}") from error
@@ -315,29 +386,110 @@ class PipelinedClient(ServiceClient):
             raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}") from error
 
     def drain(self, request_id: int) -> Dict[str, Any]:
-        """The response for ``request_id``, reading lines until it arrives."""
+        """The response for ``request_id``, reading lines until it arrives.
+
+        With a retry policy set, retryable failures — a worker-death 503
+        from the router, or the whole connection dropping mid-stream —
+        are retried transparently: the stored frame is resubmitted under
+        the *same* correlation id (after a reconnect-and-resubmit-all for
+        transport failures), with the policy's backoff between attempts.
+        """
+        while True:
+            response = self._drain_once(request_id)
+            if response is None:
+                # Transport failure with retries left: the connection was
+                # re-established and every in-flight frame resubmitted.
+                continue
+            if (
+                self.retry is not None
+                and response.get("status") != "ok"
+                and retryable_response(response)
+                and self._retry_frame(request_id)
+            ):
+                continue
+            self._frames.pop(request_id, None)
+            self._attempts.pop(request_id, None)
+            return response
+
+    def _drain_once(self, request_id: int) -> Optional[Dict[str, Any]]:
+        """One read pass; ``None`` means a transport failure was retried."""
         response = self._responses.pop(request_id, None)
         if response is not None:
             return response
-        self.flush()
-        while True:
-            try:
-                line = self._reader.readline()
-            except OSError as error:
-                self.close()
-                raise ServiceError(f"connection to {self.host}:{self.port} failed: {error}") from error
-            if not line:
-                self.close()
-                raise ServiceError("server closed the connection")
-            try:
-                response = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ServiceError(f"malformed response: {error}") from error
-            got = response.get("id")
-            if got == request_id:
-                return response
-            if got is not None:
-                self._responses[got] = response
+        try:
+            self.flush()
+            while True:
+                try:
+                    line = self._reader.readline()
+                except OSError as error:
+                    self.close()
+                    raise ServiceError(
+                        f"connection to {self.host}:{self.port} failed: {error}"
+                    ) from error
+                if not line:
+                    self.close()
+                    raise ServiceError("server closed the connection")
+                try:
+                    response = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ServiceError(f"malformed response: {error}") from error
+                got = response.get("id")
+                if got == request_id:
+                    return response
+                if got is not None:
+                    self._responses[got] = response
+        except ServiceError:
+            if self.retry is None or not self._retry_transport(request_id):
+                raise
+            return None
+
+    def _retry_frame(self, request_id: int) -> bool:
+        """Back off and resubmit one frame; ``False`` when out of retries."""
+        frame = self._frames.get(request_id)
+        if frame is None or not self._backoff(request_id):
+            return False
+        try:
+            self.connect()
+            self._writer.write(frame)
+        except (OSError, ServiceError):
+            self.close()
+            # The resubmit itself failed; the transport path picks it up
+            # on the next drain pass (the frame is still stored).
+        return True
+
+    def _retry_transport(self, request_id: int) -> bool:
+        """Reconnect and resubmit *every* in-flight frame after a drop."""
+        if not self._frames or not self._backoff(request_id):
+            return False
+        self.close()  # always resubmit on a fresh connection
+        self._responses.clear()  # correlated to the dead connection
+        try:
+            self.connect()
+            for frame in self._frames.values():
+                self._writer.write(frame)
+            self.flush()
+        except (OSError, ServiceError):
+            self.close()
+            # Still down: the next drain pass backs off and tries again
+            # until this request's attempts run out.
+        return True
+
+    def _backoff(self, request_id: int) -> bool:
+        schedule = self.retry.schedule() if self.retry is not None else []
+        attempt = self._attempts.get(request_id, 0)
+        if attempt >= len(schedule):
+            global_registry().counter(
+                "repro_client_retries_exhausted_total",
+                "Requests that failed after exhausting their retries.",
+            ).inc()
+            return False
+        self._attempts[request_id] = attempt + 1
+        global_registry().counter(
+            "repro_client_retries_total",
+            "Retry attempts after retryable failures.",
+        ).inc()
+        time.sleep(schedule[attempt])
+        return True
 
     def collect(self, request_ids: List[int]) -> List[Dict[str, Any]]:
         """Responses for ``request_ids``, in the order *asked for*."""

@@ -203,6 +203,9 @@ class ClusterConfig:
     #: are shed with ``busy`` (the worker's own queue bound still
     #: applies behind this).
     max_pending_per_worker: int = 8192
+    #: Consecutive failures that open a worker slot's circuit breaker
+    #: (router-side; the supervision ping is the half-open probe).
+    breaker_failures: int = 5
 
 
 class AnalysisCluster:

@@ -1,0 +1,206 @@
+"""Retry, circuit-breaker and deadline policies for the service stack.
+
+Three small, deterministic mechanisms that turn the cluster's existing
+failure *signals* (retryable 503s on worker death, transport errors,
+scheduler deadlines) into failure *handling*:
+
+* :class:`RetryPolicy` — capped exponential backoff with seeded jitter.
+  Safe to apply to every analysis/validation request because requests are
+  content-addressed and idempotent: a retry either coalesces onto the
+  still-running work or hits the cache the first attempt populated.  The
+  whole schedule is a pure function of the policy fields (the jitter
+  stream comes from ``random.Random(seed)``), so two runs with one seed
+  back off identically — chaos runs stay reproducible.
+* :class:`CircuitBreaker` — per-worker-slot, counter-driven (no wall
+  clock).  ``K`` consecutive failures open the circuit; while open the
+  router sheds to the retryable-503 path instead of queueing onto a sick
+  worker; the supervision watchdog's ping doubles as the half-open probe
+  (a successful ping lets one wave of real traffic through, and its first
+  success re-closes the circuit).
+* **Deadline propagation** — helpers for the ``deadline_ms`` budget a
+  client mints: each hop subtracts the time it consumed before passing
+  the remainder on (:func:`decrement_deadline`), so "the router spent
+  40 ms normalizing" and "the scheduler queued it for 2 s" both come out
+  of the same end-to-end budget, and any hop can shed expired work
+  instead of computing answers nobody is waiting for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "CircuitBreaker",
+    "RetryPolicy",
+    "decrement_deadline",
+    "retryable_response",
+]
+
+
+# ---------------------------------------------------------------------------
+# Retry / backoff
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with seeded jitter and a sleep budget.
+
+    ``retries`` is the number of *additional* attempts after the first
+    (0 disables retrying).  Attempt ``i`` (0-based) sleeps
+    ``min(max_delay, base_delay * multiplier**i)`` scaled by a jitter
+    factor in ``[1 - jitter, 1]`` drawn from ``random.Random(seed)`` —
+    deterministic per seed.  The cumulative schedule never exceeds
+    ``budget_seconds``: a delay that would cross the budget is clipped to
+    the remainder and ends the schedule.
+    """
+
+    retries: int = 0
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    budget_seconds: float = 30.0
+    seed: int = 0
+
+    def schedule(self) -> List[float]:
+        """The full backoff schedule, one delay per retry attempt."""
+        if self.retries <= 0 or self.budget_seconds <= 0:
+            return []
+        rng = random.Random(self.seed)
+        delays: List[float] = []
+        remaining = self.budget_seconds
+        for attempt in range(self.retries):
+            delay = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+            if self.jitter > 0:
+                delay *= 1.0 - self.jitter * rng.random()
+            if delay >= remaining:
+                delays.append(max(0.0, remaining))
+                break
+            delays.append(delay)
+            remaining -= delay
+        return delays
+
+
+def retryable_response(response: Optional[Dict[str, Any]]) -> bool:
+    """Whether a decoded error response invites a retry.
+
+    ``None`` (a pure transport failure — connection refused mid-stream,
+    reset, EOF) is retryable by idempotence.  Decoded responses are
+    retryable when the server says so (``retryable: true``, the 503
+    contract minted by the router on worker death and open circuits).
+    """
+    if response is None:
+        return True
+    return bool(response.get("retryable"))
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class CircuitBreaker:
+    """Three-state (closed / open / half-open) breaker, counter-driven.
+
+    Deliberately clockless: transitions happen on recorded outcomes only,
+    which keeps chaos runs deterministic and makes the breaker trivially
+    testable.  The *recovery* clock is the router's supervision cadence —
+    its periodic ping is the half-open probe.
+
+    State machine::
+
+        closed --[K consecutive failures, or trip()]--> open
+        open   --[probe_success()]--> half_open
+        half_open --[record_success()]--> closed
+        half_open --[record_failure()]--> open
+
+    ``allow()`` is ``True`` in ``closed`` and ``half_open`` (the trial
+    wave), ``False`` in ``open``.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 5) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        #: Lifetime transition counts, for /stats and the metrics registry.
+        self.transitions: Dict[str, int] = {
+            self.CLOSED: 0, self.OPEN: 0, self.HALF_OPEN: 0,
+        }
+
+    def _transition(self, state: str) -> None:
+        if self.state != state:
+            self.state = state
+            self.transitions[state] += 1
+
+    def allow(self) -> bool:
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self._transition(self.CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            self._transition(self.OPEN)
+        elif (
+            self.state == self.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(self.OPEN)
+
+    def trip(self) -> None:
+        """Force open (a dead worker process is definitionally unhealthy)."""
+        self.consecutive_failures = max(
+            self.consecutive_failures, self.failure_threshold
+        )
+        if self.state != self.OPEN:
+            self._transition(self.OPEN)
+
+    def probe_success(self) -> None:
+        """A watchdog ping succeeded: open circuits go half-open."""
+        if self.state == self.OPEN:
+            self._transition(self.HALF_OPEN)
+        else:
+            self.record_success()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": dict(self.transitions),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Deadline propagation
+# ---------------------------------------------------------------------------
+
+
+def decrement_deadline(
+    deadline_ms: Any, elapsed_seconds: float
+) -> Optional[float]:
+    """The budget left after a hop spent ``elapsed_seconds``.
+
+    Returns the decremented ``deadline_ms``, or ``None`` when the budget
+    is exhausted (callers shed with a 504 instead of forwarding).  A
+    non-numeric or non-positive input passes through as ``None``-like:
+    the wire treats ``deadline_ms <= 0`` as *disabled*, so this helper is
+    only called with a positive minted budget.
+    """
+    if not isinstance(deadline_ms, (int, float)) or isinstance(deadline_ms, bool):
+        return None
+    remaining = float(deadline_ms) - elapsed_seconds * 1000.0
+    if remaining <= 0.0:
+        return None
+    return remaining

@@ -46,6 +46,7 @@ from ..analysis.cache import AnalysisCache, _LRU
 from ..obs.metrics import MetricsRegistry, render_prometheus
 from ..obs.trace import requested_trace_id
 from .cluster import AnalysisCluster, ClusterConfig, WorkerHandle
+from .resilience import CircuitBreaker, decrement_deadline
 from .server import (
     MAX_REQUEST_BYTES,
     _PipelineWriter,
@@ -225,6 +226,16 @@ class _WorkerLink:
                 line = await self._reader.readline()
                 if not line:
                     break
+                if not line.endswith(b"\n"):
+                    # Truncated frame at EOF: the worker died mid-write.
+                    # Never forward partial bytes to a client — fall
+                    # through to the connection-loss path, which fails
+                    # the in-flight requests retryably instead.
+                    logger.warning(
+                        "worker %d sent a truncated frame (%d bytes); dropping it",
+                        self.slot, len(line),
+                    )
+                    break
                 request_id, tail = split_pipeline_id(line)
                 if request_id is None:
                     continue  # not ours (never happens: we only pipeline)
@@ -319,6 +330,8 @@ class RouterServer:
                 "retryable_failures",
                 "redispatched",
                 "worker_failures",
+                "breaker_shed",
+                "deadline_shed",
             ],
             "Router admission and supervision counters.",
         )
@@ -326,6 +339,21 @@ class RouterServer:
             "repro_router_pending",
             lambda: len(self._pending),
             "Forwarded requests awaiting their worker response.",
+        )
+        # Per-slot circuit breakers: K consecutive failures open a slot's
+        # circuit; while open, traffic for that slot sheds to the
+        # retryable-503 path instead of queueing onto a sick worker, and
+        # the supervision ping doubles as the half-open probe.
+        self.breakers: List[CircuitBreaker] = [
+            CircuitBreaker(self.cluster.config.breaker_failures)
+            for _ in range(self.cluster.config.workers)
+        ]
+        self.metrics.gauge_func(
+            "repro_router_breakers_open",
+            lambda: sum(
+                1 for breaker in self.breakers if breaker.state != breaker.CLOSED
+            ),
+            "Worker slots whose circuit is currently open or half-open.",
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -441,8 +469,11 @@ class RouterServer:
         """
         # Traced requests skip the byte-level route memo: the router must
         # decode them to mint/propagate the trace id and record its spans.
+        # Deadlined requests skip it too — the router decrements the
+        # remaining budget, so the forwarded bytes differ per request.
         traced = b'"trace"' in body
-        if not traced:
+        deadlined = b'"deadline_ms"' in body
+        if not traced and not deadlined:
             slot = self._route_memo.get(body)
             if slot is not None:
                 self.counters["route_memo_hits"] += 1
@@ -532,29 +563,57 @@ class RouterServer:
                 self.cluster.config.service.inference,
             )
             slot = self.cluster.ring.lookup(key)
-            if trace_id is None:
+            deadline_ms = request.get("deadline_ms") if deadlined else None
+            if trace_id is None and deadline_ms is None:
                 self._route_memo.put(body, slot)
                 self._forward(client, request_id, pipelined, raw, body, slot)
                 return
-            # Forward the resolved id (never the bare ``true``), so the
-            # worker's echo and the router's spans agree on the trace.
+            # Re-encoded forwarding path (traced and/or deadlined).
+            # Forward the resolved trace id (never the bare ``true``), so
+            # the worker's echo and the router's spans agree on the trace.
             # The client's correlation id (still present on canonically
             # framed lines) must not leak into the worker frame — the
             # forwarded frame carries the router's own id.
             request.pop("id", None)
-            request["trace"] = trace_id
+            if trace_id is not None:
+                request["trace"] = trace_id
+            if deadline_ms is not None:
+                # This hop's share (key normalization, mostly) comes out
+                # of the end-to-end budget before the remainder travels
+                # on; an exhausted budget is shed here — computing an
+                # answer nobody is waiting for helps no one.
+                budget = decrement_deadline(
+                    deadline_ms, time.perf_counter() - route_started
+                )
+                if budget is None:
+                    self.counters["deadline_shed"] += 1
+                    self._respond_local(
+                        client,
+                        request_id,
+                        pipelined,
+                        raw,
+                        {
+                            "status": "error",
+                            "code": 504,
+                            "error": "deadline_ms budget exhausted at the router",
+                        },
+                    )
+                    return
+                request["deadline_ms"] = budget
             body = (
                 b","
                 + json.dumps(request, separators=(",", ":")).encode("utf-8")[1:]
                 + b"\n"
             )
-            spans = [
-                {
-                    "name": "router.route",
-                    "seconds": time.perf_counter() - route_started,
-                    "slot": slot,
-                }
-            ]
+            spans = None
+            if trace_id is not None:
+                spans = [
+                    {
+                        "name": "router.route",
+                        "seconds": time.perf_counter() - route_started,
+                        "slot": slot,
+                    }
+                ]
             self._forward(
                 client, request_id, pipelined, raw, body, slot,
                 trace_id=trace_id, trace_spans=spans,
@@ -623,6 +682,20 @@ class RouterServer:
         trace_spans: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         link = self._links[slot]
+        if not self.breakers[slot].allow():
+            # The slot's circuit is open: shed to the retryable-503 path
+            # instead of queueing onto a worker that keeps failing.  The
+            # client's backoff (plus the supervision ping acting as the
+            # half-open probe) decides when traffic flows again.
+            self.counters["breaker_shed"] += 1
+            self._respond_local(
+                client,
+                request_id,
+                pipelined,
+                raw,
+                _retryable_error(f"worker {slot} circuit open; retry shortly"),
+            )
+            return
         if link.pending >= self.cluster.config.max_pending_per_worker:
             self.counters["shed"] += 1
             self._respond_local(
@@ -653,6 +726,10 @@ class RouterServer:
         entry = self._pending.pop(router_id, None)
         if entry is None:
             return
+        if not entry.internal:
+            # Any response at all proves the worker is serving; the first
+            # success after a half-open probe re-closes the circuit.
+            self._breaker_event(entry.link.slot, "record_success")
         if entry.internal:
             try:
                 payload = json.loads(b"{" + tail[1:])
@@ -705,6 +782,7 @@ class RouterServer:
                 entry.future.set_result(None)
             return
         self.counters["retryable_failures"] += 1
+        self._breaker_event(entry.link.slot, "record_failure")
         if entry.trace_spans:
             response = {
                 **response,
@@ -730,11 +808,29 @@ class RouterServer:
 
     # -- worker supervision --------------------------------------------------
 
+    def _breaker_event(self, slot: int, action: str) -> None:
+        """Drive one slot's breaker and count any state transition."""
+        breaker = self.breakers[slot]
+        before = breaker.state
+        getattr(breaker, action)()
+        if breaker.state != before:
+            logger.info(
+                "worker %d circuit %s -> %s", slot, before, breaker.state
+            )
+            self.metrics.counter(
+                "repro_router_breaker_transitions_total",
+                "Circuit-breaker state transitions, labeled by target state.",
+                state=breaker.state,
+            ).inc()
+
     def _worker_lost(self, link: _WorkerLink) -> None:
         """Read-loop callback: the worker's connection is gone."""
         if self._stopping:
             return
         self.counters["worker_failures"] += 1
+        # A dead process is definitionally unhealthy: open the circuit
+        # outright instead of waiting for K individual failures.
+        self._breaker_event(link.slot, "trip")
         logger.warning(
             "worker %d lost with %d requests in flight; respawning",
             link.slot, len(link.outstanding),
@@ -788,6 +884,10 @@ class RouterServer:
                         self._fail(router_id, entry, response)
                 return
             self.counters["redispatched"] += len(link.outstanding)
+            # A successful respawn+connect is itself a health probe: move
+            # the slot's (tripped) circuit to half-open so the next real
+            # request can re-close it instead of waiting out a ping tick.
+            self._breaker_event(slot, "probe_success")
             logger.info("worker %d respawned (generation %d)", slot, link.generation)
 
     async def _supervise(self, slot: int) -> None:
@@ -817,6 +917,9 @@ class RouterServer:
             if response is None and link.state == "up" and not self._stopping:
                 # Hung worker: kill it; the EOF path does the rest.
                 await asyncio.get_running_loop().run_in_executor(None, handle.kill)
+            elif response is not None:
+                # A healthy ping doubles as the circuit's half-open probe.
+                self._breaker_event(slot, "probe_success")
 
     async def _probe(
         self, slot: int, request: Dict[str, Any], timeout: float
@@ -924,6 +1027,7 @@ class RouterServer:
         service: Dict[str, Any] = {}
         cache: Dict[str, Any] = {}
         scheduler: Dict[str, Any] = {}
+        resilience: Dict[str, Any] = {}
         slow_requests: List[Dict[str, Any]] = []
         inflight = 0
         workers: List[Dict[str, Any]] = []
@@ -946,6 +1050,11 @@ class RouterServer:
             _merge_counters(service, block.get("service", {}))
             _merge_counters(cache, block.get("cache", {}))
             _merge_counters(scheduler, block.get("scheduler", {}))
+            # Graceful-degradation counters are per worker *process*, so
+            # this sum covers the live generation of each slot only —
+            # counters die with a killed worker.  The per-worker blocks
+            # below keep the slot-level view.
+            _merge_counters(resilience, block.get("resilience", {}))
             inflight += block.get("inflight", 0)
             for entry in block.get("slow_requests", []) or []:
                 if isinstance(entry, dict):
@@ -965,6 +1074,7 @@ class RouterServer:
             "inflight": inflight,
             "cache": cache,
             "scheduler": scheduler,
+            "resilience": resilience,
             "slow_requests": slow_requests,
             "cluster": {
                 "workers": self.cluster.config.workers,
@@ -972,6 +1082,7 @@ class RouterServer:
                 "restarts": self.cluster.restarts,
                 "pending": len(self._pending),
                 **dict(self.counters),
+                "breakers": [breaker.describe() for breaker in self.breakers],
             },
             "workers": workers,
         }

@@ -150,7 +150,10 @@ class Scheduler:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.counters = self.metrics.group(
             "repro_scheduler",
-            ["submitted", "completed", "failed", "shed", "expired"],
+            # ``expired`` is the legacy name for deadline-expired queue
+            # drops; ``shed_expired`` counts the same pre-dispatch sheds
+            # under the resilience layer's naming (both advance together).
+            ["submitted", "completed", "failed", "shed", "expired", "shed_expired"],
             "Scheduler lifecycle counters.",
         )
         self.lane_counters = CounterGroup(
@@ -222,24 +225,50 @@ class Scheduler:
 
     # -- execution ----------------------------------------------------------
 
+    def _shed_if_dead(self, job: Job) -> bool:
+        """Drop a cancelled or deadline-expired job *before* dispatch.
+
+        Expired work is shed without ever occupying the executor — a
+        backlog burst must not burn engine time computing answers whose
+        waiters have already been released (``shed_expired``).
+        """
+        job.queue_wait_seconds = max(0.0, time.monotonic() - job.enqueued_at)
+        self._queue_wait.observe(job.queue_wait_seconds)
+        if job.future.cancelled():
+            return True
+        remaining = job.remaining()
+        if remaining is not None and remaining <= 0:
+            self.counters["expired"] += 1
+            self.counters["shed_expired"] += 1
+            logger.debug("job %s expired after %.3fs queued",
+                         job.key[:16], job.queue_wait_seconds)
+            job.future.set_exception(
+                DeadlineExceeded("deadline passed while queued")
+            )
+            return True
+        return False
+
     async def _worker(self, index: int) -> None:
         queue = self._ensure_queue()
         while True:
             _priority, _sequence, job = await queue.get()
-            job.queue_wait_seconds = max(0.0, time.monotonic() - job.enqueued_at)
-            self._queue_wait.observe(job.queue_wait_seconds)
+            if self._shed_if_dead(job):
+                queue.task_done()
+                # Drain any further already-dead jobs in the same pass,
+                # so none of them waits behind a dispatch cycle.
+                job = None
+                while job is None:
+                    try:
+                        _priority, _sequence, candidate = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if self._shed_if_dead(candidate):
+                        queue.task_done()
+                        continue
+                    job = candidate
+                if job is None:
+                    continue
             try:
-                if job.future.cancelled():
-                    continue
-                remaining = job.remaining()
-                if remaining is not None and remaining <= 0:
-                    self.counters["expired"] += 1
-                    logger.debug("job %s expired after %.3fs queued",
-                                 job.key[:16], job.queue_wait_seconds)
-                    job.future.set_exception(
-                        DeadlineExceeded("deadline passed while queued")
-                    )
-                    continue
                 try:
                     # ``PoolHandle.submit`` transparently rebuilds a
                     # broken pool at dispatch time; result-time breakage

@@ -69,6 +69,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -81,12 +82,18 @@ from ..analysis.cache import (
     config_key,
     make_key,
     memo_report,
+    quarantined_total,
     source_key,
     term_key,
 )
 from ..core import ast as A
 from ..core.errors import LnumError
-from ..core.inference import InferenceConfig, JudgementMemo
+from ..core.inference import (
+    InferenceConfig,
+    JudgementMemo,
+    engine_fallback_stats,
+)
+from ..faults import FAULT_SITES, activate, active_plan, injected_counts, plan_from_environment
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import RequestTrace, requested_trace_id
 from .cachefarm import CacheFarm, DEFAULT_SHARD_ENTRIES, DEFAULT_SHARDS
@@ -321,6 +328,11 @@ class ServiceConfig:
     log_level: str = "info"
     #: ``repro serve --log-json``: one JSON object per stderr log line.
     log_json: bool = False
+    #: Deterministic fault-injection spec (``repro serve --faults``; see
+    #: :mod:`repro.faults`).  ``None`` falls back to the ``REPRO_FAULTS``
+    #: environment variable; empty/absent disables injection.  The spec
+    #: travels in this (pickled) config, so cluster workers inject too.
+    faults: Optional[str] = None
 
 
 class AnalysisService:
@@ -411,6 +423,37 @@ class AnalysisService:
             lambda: len(self._inflight),
             "Scheduled jobs whose futures have not resolved.",
         )
+        # Graceful-degradation observability: compiled-engine failures
+        # that fell back to the interpreter, and corrupt disk-cache
+        # entries quarantined aside.  Registered unconditionally — both
+        # paths exist without fault injection.
+        self.metrics.counter_func(
+            "repro_engine_fallbacks_total",
+            lambda: engine_fallback_stats()["fallbacks"],
+            "Compiled-engine failures served by the interpreted engine instead.",
+        )
+        self.metrics.gauge_func(
+            "repro_engine_quarantined_plans",
+            lambda: engine_fallback_stats()["quarantined"],
+            "Programs whose compiled plans are quarantined after a failure.",
+        )
+        self.metrics.counter_func(
+            "repro_cache_quarantined_total",
+            quarantined_total,
+            "Corrupt disk-cache entries quarantined (renamed *.corrupt).",
+        )
+        # Deterministic fault injection: the spec arrives via the (pickled)
+        # config or the inherited REPRO_FAULTS environment; see repro.faults.
+        plan = activate(self.config.faults or plan_from_environment())
+        if plan is not None:
+            logger.warning("fault injection active: %s", plan.spec)
+            for site in FAULT_SITES:
+                self.metrics.counter_func(
+                    "repro_faults_injected_total",
+                    (lambda s: lambda: injected_counts().get(s, 0))(site),
+                    "Faults injected by the active plan, by site.",
+                    site=site,
+                )
         #: Ring buffer of the slowest recent requests (op, key, status,
         #: seconds), surfaced as ``/stats → slow_requests``.
         self._slow_log: "deque" = deque(maxlen=max(1, self.config.slow_log_entries))
@@ -593,6 +636,13 @@ class AnalysisService:
     async def _handle_analyze(
         self, request: Dict[str, Any], op: str = "analyze"
     ) -> Dict[str, Any]:
+        plan = active_plan()
+        if plan is not None and plan.should("kill_worker"):
+            # Simulate an abrupt worker death (OOM-kill, segfault): no
+            # cleanup, no goodbye — the router's supervision machinery and
+            # the client's retries are what the chaos run exercises.
+            logger.critical("fault injection: kill_worker firing on %s; dying", op)
+            os._exit(1)
         self.counters[f"{op}_requests"] += 1
         trace_id = requested_trace_id(request.get("trace"))
         trace = RequestTrace(trace_id) if trace_id else None
@@ -939,7 +989,7 @@ class AnalysisService:
 
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` payload: service, cache and scheduler counters."""
-        return {
+        out = {
             "uptime_seconds": time.monotonic() - self.started_at,
             "service": dict(self.counters),
             "inflight": len(self._inflight),
@@ -950,10 +1000,17 @@ class AnalysisService:
             # tables, fingerprint/free-variable memos, exactmath caches):
             # occupancy vs. caps, so a long-lived server is observable.
             "memos": memo_report(),
+            # Graceful-degradation counters: compiled-plan quarantine and
+            # interpreter fallbacks (see repro.core.inference).
+            "resilience": engine_fallback_stats(),
             # Ring buffer of requests slower than
             # ``ServiceConfig.slow_request_seconds``, newest last.
             "slow_requests": list(self._slow_log),
         }
+        plan = active_plan()
+        if plan is not None:
+            out["faults"] = plan.describe()
+        return out
 
 
 class AnalysisServer:
@@ -1104,7 +1161,11 @@ class AnalysisServer:
             if body is not None:
                 fast = self.service.fast_payload(body)
                 if fast is not None:
-                    pipeline.send(b'{"id":%d' % request_id + fast)
+                    frame = await self._wire_fault(
+                        b'{"id":%d' % request_id + fast, pipeline.writer
+                    )
+                    if frame is not None:
+                        pipeline.send(frame)
                     return
             try:
                 request = json.loads(line)
@@ -1120,7 +1181,11 @@ class AnalysisServer:
             response = await self.service.handle(request)
             if body is not None:
                 self.service.remember_key(body, request, response)
-            pipeline.send(frame_response(request_id, response))
+            frame = await self._wire_fault(
+                frame_response(request_id, response), pipeline.writer
+            )
+            if frame is not None:
+                pipeline.send(frame)
             if request.get("op") == "shutdown":
                 self._shutdown.set()
         finally:
@@ -1132,13 +1197,54 @@ class AnalysisServer:
         """Handle one already-decoded pipelined request (any id position)."""
         try:
             response = await self.service.handle(request)
-            pipeline.send(frame_response(request_id, response))
+            frame = await self._wire_fault(
+                frame_response(request_id, response), pipeline.writer
+            )
+            if frame is not None:
+                pipeline.send(frame)
             if request.get("op") == "shutdown":
                 self._shutdown.set()
         finally:
             pipeline.release()
 
     @staticmethod
-    async def _respond(writer: asyncio.StreamWriter, response: Dict[str, Any]) -> None:
-        writer.write(json.dumps(response, separators=(",", ":")).encode("utf-8") + b"\n")
+    async def _wire_fault(
+        frame: bytes, writer: asyncio.StreamWriter
+    ) -> Optional[bytes]:
+        """Apply any active wire-level fault to one outgoing response frame.
+
+        ``slow_response`` delays the frame (arg = milliseconds);
+        ``truncate_frame`` writes half the bytes then aborts the
+        connection (a crash mid-write); ``drop_connection`` aborts
+        without writing anything.  Returns the frame to send normally, or
+        ``None`` when the fault consumed it.
+        """
+        plan = active_plan()
+        if plan is None:
+            return frame
+        if plan.should("slow_response"):
+            await asyncio.sleep(plan.arg("slow_response", 25.0) / 1000.0)
+        if plan.should("truncate_frame"):
+            logger.warning("fault injection: truncating a %d-byte frame", len(frame))
+            try:
+                writer.write(frame[: max(1, len(frame) // 2)])
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.transport.abort()
+            return None
+        if plan.should("drop_connection"):
+            logger.warning("fault injection: dropping the connection")
+            writer.transport.abort()
+            return None
+        return frame
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, response: Dict[str, Any]
+    ) -> None:
+        frame = json.dumps(response, separators=(",", ":")).encode("utf-8") + b"\n"
+        frame = await self._wire_fault(frame, writer)
+        if frame is None:
+            return
+        writer.write(frame)
         await writer.drain()
