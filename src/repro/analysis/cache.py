@@ -126,10 +126,14 @@ def config_key(config: Optional[InferenceConfig]) -> str:
     """
     config = config or InferenceConfig()
     operations = ",".join(sorted(config.signature.names()))
-    return (
+    key = (
         f"rnd={config.rnd_grade}|guard={config.case_guard_sensitivity}"
         f"|unused={config.allow_unused_let}|ops={operations}"
     )
+    if config.rnd_site_grades is not None:
+        sites = ",".join(str(grade) for grade in config.rnd_site_grades)
+        key += f"|sites={sites}"
+    return key
 
 
 def source_key(source: str, kind: str, config: Optional[InferenceConfig]) -> str:

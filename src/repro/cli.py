@@ -216,13 +216,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the differential soundness harness instead of plain analysis",
     )
     query.add_argument(
-        "--samples", type=int, default=64, help="stochastic samples (with --validate)"
+        "--tune",
+        action="store_true",
+        help="search certified mixed-precision assignments instead of plain analysis",
     )
     query.add_argument(
-        "--points", type=int, default=4, help="input points (with --validate)"
+        "--samples", type=int, default=None,
+        help="stochastic samples (--validate default 64, --tune default 8)",
     )
     query.add_argument(
-        "--seed", type=int, default=0, help="sampling seed (with --validate)"
+        "--points", type=int, default=None,
+        help="input points (--validate default 4, --tune default 3)",
+    )
+    query.add_argument(
+        "--seed", type=int, default=0,
+        help="sampling seed (with --validate/--tune)",
+    )
+    query.add_argument(
+        "--target", default=None, metavar="BOUND",
+        help="with --tune: absolute RP target (exact fraction or decimal)",
+    )
+    query.add_argument(
+        "--target-ratio", default=None, metavar="RATIO",
+        help="with --tune: target as a multiple of the program's uniform "
+        "binary64 bound (default 2**43)",
+    )
+    query.add_argument(
+        "--budget", type=int, default=48,
+        help="with --tune: certification budget for refinement (default 48)",
+    )
+    query.add_argument(
+        "--stochastic", action="store_true",
+        help="with --tune: also certify under stochastic-rounding execution",
     )
     query.add_argument(
         "--json", action="store_true", help="print raw JSON responses"
@@ -333,6 +358,106 @@ def build_parser() -> argparse.ArgumentParser:
         "analyse this function's body)"
     )
     _add_instantiation_arguments(validate)
+
+    tune = subparsers.add_parser(
+        "tune",
+        help="grade-guided mixed-precision tuning: cheapest certified "
+        "per-rnd-site format assignment meeting a target error bound",
+    )
+    tune.add_argument(
+        "paths",
+        nargs="*",
+        help="program files or directories (.lnum/.fpcore); see also --suite",
+    )
+    tune.add_argument(
+        "--suite",
+        action="append",
+        default=[],
+        choices=["examples", "table3", "table4", "table5", "all"],
+        help="also tune a benchmark suite (repeatable)",
+    )
+    tune.add_argument(
+        "--target",
+        default=None,
+        metavar="BOUND",
+        help="absolute RP target (exact fraction or decimal); default: "
+        "--target-ratio times each program's uniform binary64 bound",
+    )
+    tune.add_argument(
+        "--target-ratio",
+        default=None,
+        metavar="RATIO",
+        help="target as a multiple of each program's uniform binary64 bound "
+        "(default 2**43, between uniform binary16 and uniform bfloat16)",
+    )
+    tune.add_argument(
+        "--budget",
+        type=int,
+        default=48,
+        help="certification budget for the refinement rounds (default 48)",
+    )
+    tune.add_argument(
+        "--samples",
+        type=int,
+        default=8,
+        help="stochastic-rounding executions per certification point (default 8)",
+    )
+    tune.add_argument(
+        "--points",
+        type=int,
+        default=3,
+        help="input points sampled per certification (default 3)",
+    )
+    tune.add_argument("--seed", type=int, default=0, help="sampling seed")
+    tune.add_argument(
+        "--stochastic",
+        action="store_true",
+        help="also certify candidates under stochastic-rounding execution",
+    )
+    tune.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the certification fan-out (default 1)",
+    )
+    tune.add_argument(
+        "-f", "--function", help="only tune this function"
+    )
+    tune.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON report"
+    )
+    tune.add_argument(
+        "--no-cache", action="store_true", help="disable the content-keyed result cache"
+    )
+    tune.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache location (default $REPRO_CACHE_DIR or ~/.cache/repro-lnum)",
+    )
+    tune.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write a BENCH_tuning.json-style report with cost reductions",
+    )
+    tune.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="gate statuses and cost reductions against a checked-in report",
+    )
+    tune.add_argument(
+        "--max-loosening",
+        type=float,
+        default=4.0,
+        metavar="RATIO",
+        help="baseline-gate tolerance for shrinking cost reductions (default 4.0)",
+    )
+    tune.add_argument(
+        "--full", action="store_true", help="include MatrixMultiply128 in --suite table4"
+    )
 
     return parser
 
@@ -650,6 +775,7 @@ def _command_query(arguments: argparse.Namespace) -> int:
         ServiceClient,
         ServiceError,
         render_report,
+        render_tuning,
         render_validation,
     )
 
@@ -661,6 +787,8 @@ def _command_query(arguments: argparse.Namespace) -> int:
         )
     if arguments.prom and not arguments.metrics:
         raise SystemExit("repro query: --prom requires --metrics")
+    if arguments.validate and arguments.tune:
+        raise SystemExit("repro query: --validate and --tune are mutually exclusive")
     # Give the socket more slack than the analysis deadline, so a long
     # but legitimate request dies server-side (a clean timeout response)
     # rather than as a client transport error at some unrelated cutoff.
@@ -688,9 +816,26 @@ def _command_query(arguments: argparse.Namespace) -> int:
                             source,
                             kind=kind,
                             name=path,
-                            samples=arguments.samples,
-                            points=arguments.points,
+                            samples=64 if arguments.samples is None else arguments.samples,
+                            points=4 if arguments.points is None else arguments.points,
                             seed=arguments.seed,
+                            priority=arguments.priority,
+                            deadline_ms=arguments.deadline_ms,
+                            no_cache=arguments.no_cache,
+                            trace=arguments.trace or None,
+                        )
+                    elif arguments.tune:
+                        response = client.tune(
+                            source,
+                            kind=kind,
+                            name=path,
+                            target=arguments.target,
+                            target_ratio=arguments.target_ratio,
+                            budget=arguments.budget,
+                            samples=8 if arguments.samples is None else arguments.samples,
+                            points=3 if arguments.points is None else arguments.points,
+                            seed=arguments.seed,
+                            stochastic=arguments.stochastic,
                             priority=arguments.priority,
                             deadline_ms=arguments.deadline_ms,
                             no_cache=arguments.no_cache,
@@ -717,13 +862,22 @@ def _command_query(arguments: argparse.Namespace) -> int:
                     print(render_validation(response))
                     _print_trace(response)
                     print()
+                elif arguments.tune:
+                    print(render_tuning(response))
+                    _print_trace(response)
+                    print()
                 else:
                     print(render_report(response))
                     _print_trace(response)
                     print()
+                verdict = response["report"].get("verdict")
                 if not response["report"]["ok"]:
                     exit_code = max(exit_code, 2)
-                elif arguments.validate and response["report"]["verdict"] == "violation":
+                elif arguments.validate and verdict == "violation":
+                    exit_code = max(exit_code, 1)
+                elif arguments.tune and verdict == "error":
+                    exit_code = max(exit_code, 2)
+                elif arguments.tune and verdict == "infeasible":
                     exit_code = max(exit_code, 1)
             if arguments.stats:
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
@@ -842,6 +996,107 @@ def _command_validate_corpus(arguments: argparse.Namespace) -> int:
     return code
 
 
+def _command_tune(arguments: argparse.Namespace) -> int:
+    """Grade-guided mixed-precision tuning over programs and/or suites."""
+    import json
+
+    from .analysis.batch import BatchItem, discover_items
+    from .tuning import bench as tuning_bench
+    from .tuning.search import (
+        PrecisionTuner,
+        SubjectTuning,
+        TuningOptions,
+        parse_fraction,
+    )
+    from .validation.bench import suite_subjects
+    from .validation.harness import subjects_or_failures
+
+    if not arguments.paths and not arguments.suite:
+        raise SystemExit("repro tune: give program paths or a --suite")
+    try:
+        options = TuningOptions(
+            target=(
+                None if arguments.target is None
+                else parse_fraction(arguments.target)
+            ),
+            target_ratio=(
+                None if arguments.target_ratio is None
+                else parse_fraction(arguments.target_ratio)
+            ),
+            budget=arguments.budget,
+            points=arguments.points,
+            samples=arguments.samples,
+            seed=arguments.seed,
+            stochastic=arguments.stochastic,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro tune: {error}") from None
+
+    items = []
+    if "-" in arguments.paths:
+        items.append(BatchItem(name="<stdin>", kind="lnum", source=_read_source("-")))
+    items.extend(discover_items([p for p in arguments.paths if p != "-"]))
+    subjects, failures = subjects_or_failures(items)
+    if arguments.suite:
+        extra_subjects, extra_failures = suite_subjects(
+            arguments.suite, include_huge=arguments.full
+        )
+        subjects.extend(extra_subjects)
+        failures.extend(extra_failures)
+    if arguments.function:
+        wanted = f"::{arguments.function}"
+        subjects = [
+            subject for subject in subjects if subject.name.endswith(wanted)
+        ]
+        if not subjects:
+            raise SystemExit(f"no function named {arguments.function!r} to tune")
+
+    cache = None
+    if not arguments.no_cache:
+        cache = AnalysisCache(directory=arguments.cache_dir or default_cache_directory())
+    with PrecisionTuner(
+        jobs=arguments.jobs, cache=cache, options=options
+    ) as tuner:
+        result = tuner.tune_subjects(subjects)
+    result.reports.extend(
+        SubjectTuning(
+            name=failure.name,
+            kind=failure.kind,
+            status="error",
+            notes=list(failure.notes),
+        )
+        for failure in failures
+    )
+
+    if arguments.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.render_text())
+
+    gate_failed = False
+    report = None
+    if arguments.out or arguments.baseline:
+        report = tuning_bench.build_report(
+            result, options.to_dict(), arguments.suite or ["<paths>"]
+        )
+    if arguments.out:
+        path = tuning_bench.write_report(report, arguments.out)
+        print(f"report written to {path}")
+    if arguments.baseline:
+        baseline = tuning_bench.load_report(arguments.baseline)
+        ok, lines = tuning_bench.compare_with_baseline(
+            report, baseline, max_loosening=arguments.max_loosening
+        )
+        print(f"\nbaseline comparison ({arguments.max_loosening:g}x loosening gate):")
+        print("\n".join(lines))
+        print("tuning gate " + ("passed" if ok else "FAILED"))
+        gate_failed = not ok
+    code = result.exit_code
+    if gate_failed and code == 0:
+        code = 4
+    return code
+
+
 def _command_validate_single(arguments: argparse.Namespace) -> int:
     """Corollary 4.20 on one program at explicit inputs (the ``-i`` mode)."""
     if len(arguments.paths) != 1:
@@ -899,6 +1154,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _command_serve,
         "query": _command_query,
         "validate": _command_validate,
+        "tune": _command_tune,
     }
     try:
         return handlers[arguments.command](arguments)

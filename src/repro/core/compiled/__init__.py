@@ -52,6 +52,10 @@ def infer_compiled(
     records the plan fetch/lowering as the ``lower`` phase and hands the
     ``execute``/``convert`` boundary timing down to the executor.
     """
+    if getattr(config, "rnd_site_grades", None) is not None:
+        # Positional per-site grades need the interpreted engine's
+        # deterministic occurrence order; plans share subterm results.
+        raise ValueError("rnd_site_grades requires the interpreted engine")
     if instrumentation is not None and instrumentation.enabled:
         import time
 

@@ -54,6 +54,7 @@ __all__ = [
     "InferenceResult",
     "JudgementMemo",
     "engine_fallback_stats",
+    "enumerate_rnd_sites",
     "infer",
     "infer_type",
     "check_term",
@@ -72,15 +73,33 @@ class InferenceConfig:
     sensitivity substituted for a zero guard sensitivity in the (+E) rule (the
     paper's "ε otherwise"); any positive value is sound, and the dependence on
     the guard must be retained for soundness (Section 8).
+
+    ``rnd_site_grades``, when set, assigns each ``rnd`` *occurrence* its own
+    error grade, consumed in the engine's firing order (the order
+    :func:`enumerate_rnd_sites` reports).  This models mixed-precision
+    programs where different roundings use different formats; because the
+    grades are positional, inference is forced onto the interpreted engine
+    with memoization disabled (judgement memos key on subterm identity, not
+    position, and would conflate sites).
     """
 
     signature: Signature = field(default_factory=standard_signature)
     rnd_grade: Grade = EPS
     case_guard_sensitivity: Grade = EPS
     allow_unused_let: bool = True
+    rnd_site_grades: Optional[Tuple[Grade, ...]] = None
 
     def with_rnd_grade(self, grade: GradeLike) -> "InferenceConfig":
         return replace(self, rnd_grade=as_grade(grade))
+
+    def with_rnd_site_grades(
+        self, grades: Optional[Tuple[GradeLike, ...]]
+    ) -> "InferenceConfig":
+        if grades is None:
+            return replace(self, rnd_site_grades=None)
+        return replace(
+            self, rnd_site_grades=tuple(as_grade(grade) for grade in grades)
+        )
 
 
 @dataclass(frozen=True)
@@ -144,6 +163,7 @@ def _config_fingerprint(config: InferenceConfig) -> Tuple:
         config.rnd_grade,
         config.case_guard_sensitivity,
         config.allow_unused_let,
+        config.rnd_site_grades,
         operations,
     )
 
@@ -328,6 +348,12 @@ def infer(
             f"unknown inference engine {engine!r}; expected one of {_ENGINES}"
         )
     config = config or InferenceConfig()
+    if config.rnd_site_grades is not None:
+        # Per-site grades are positional: only the interpreted engine with
+        # memoization off visits every ``rnd`` occurrence in a deterministic
+        # order (memo hits would skip occurrences, conflating sites).
+        engine = "interpreted"
+        memo = False
     resolved_memo = _resolve_memo(term, memo)
     timed = instrumentation is not None and instrumentation.enabled
     if engine == "compiled" or (
@@ -398,6 +424,27 @@ def check_term(
     return result
 
 
+def enumerate_rnd_sites(
+    term: A.Term,
+    skeleton: Mapping[str, T.Type] | None = None,
+    config: InferenceConfig | None = None,
+) -> List[A.Rnd]:
+    """The ``rnd`` occurrences of ``term`` in inference firing order.
+
+    Runs the interpreted engine with a collector and no memo, so the list
+    order is exactly the order in which :attr:`InferenceConfig.rnd_site_grades`
+    entries are consumed — the canonical site numbering shared by the
+    precision tuner's probe, certification, and evaluation legs.  Shared
+    (hash-consed) subterms are visited once per *occurrence*, so the same
+    node object may appear more than once.
+    """
+    engine_obj = _Engine(config or InferenceConfig())
+    collector: List[A.Rnd] = []
+    engine_obj.rnd_sites = collector
+    engine_obj.run(term, dict(skeleton or {}), None)
+    return collector
+
+
 # ---------------------------------------------------------------------------
 # The iterative engine
 # ---------------------------------------------------------------------------
@@ -429,11 +476,22 @@ class _Engine:
     schedules a record frame that stores the judgement once computed.
     """
 
-    __slots__ = ("config", "signature", "skeleton", "stack", "results")
+    __slots__ = (
+        "config",
+        "signature",
+        "skeleton",
+        "stack",
+        "results",
+        "rnd_count",
+        "site_grades",
+        "rnd_sites",
+    )
 
     def __init__(self, config: InferenceConfig) -> None:
         self.config = config
         self.signature = config.signature
+        self.site_grades = config.rnd_site_grades
+        self.rnd_sites: Optional[List[A.Rnd]] = None
 
     def run(
         self,
@@ -442,6 +500,7 @@ class _Engine:
         memo=None,
     ) -> _Judgement:
         self.skeleton = skeleton
+        self.rnd_count = 0
         stack: List[Tuple[A.Term, int, object]] = [(term, 0, None)]
         self.stack = stack
         results: List[_Judgement] = []
@@ -468,6 +527,11 @@ class _Engine:
                     f"no inference rule for term node {type(node).__name__}"
                 )
             handler(self, node, stage, aux)
+        if self.site_grades is not None and self.rnd_count != len(self.site_grades):
+            raise TypeInferenceError(
+                f"rnd_site_grades supplied {len(self.site_grades)} grades but the "
+                f"term has {self.rnd_count} rnd occurrences"
+            )
         return results.pop()
 
     def _memo_key(self, node: A.Term, config_fp: Tuple) -> Optional[Tuple]:
@@ -601,7 +665,20 @@ def _infer_rnd(eng: _Engine, term: A.Rnd, stage: int, aux) -> None:
     ctx, tau = eng.results.pop()
     if not isinstance(tau, T.Num):
         raise TypeInferenceError(f"rnd expects a numeric argument, got {tau}")
-    eng.results.append((ctx, T.Monadic(eng.config.rnd_grade, T.NUM)))
+    grade = eng.config.rnd_grade
+    if eng.site_grades is not None or eng.rnd_sites is not None:
+        index = eng.rnd_count
+        eng.rnd_count = index + 1
+        if eng.rnd_sites is not None:
+            eng.rnd_sites.append(term)
+        if eng.site_grades is not None:
+            if index >= len(eng.site_grades):
+                raise TypeInferenceError(
+                    f"rnd_site_grades supplied {len(eng.site_grades)} grades but "
+                    f"the term has more rnd occurrences"
+                )
+            grade = eng.site_grades[index]
+    eng.results.append((ctx, T.Monadic(grade, T.NUM)))
 
 
 def _infer_ret(eng: _Engine, term: A.Ret, stage: int, aux) -> None:

@@ -1,0 +1,148 @@
+"""Execute the shell blocks of a markdown document (the docs-check job).
+
+Documentation that is not executed rots: a renamed flag or a changed
+default silently turns a tutorial into fiction.  This module extracts
+every fenced ``sh`` code block from a markdown file and runs each one
+through ``bash -euo pipefail``, in order, sharing one scratch
+``REPRO_CACHE_DIR`` — so ``docs/tutorial.md`` is a test, not a promise.
+
+Conventions:
+
+* Only blocks fenced as ```` ```sh ```` run; ```` ```python ````,
+  ```` ``` ```` (plain output) and every other language are prose.
+* A block immediately preceded by an ``<!-- docs-check: skip -->``
+  comment is skipped (for illustrative fragments that need external
+  state, e.g. a server started in another terminal).
+* Blocks run from the current working directory — invoke from the repo
+  root, as CI does::
+
+      python -m repro.docscheck docs/tutorial.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from typing import List, NamedTuple
+
+__all__ = ["ShellBlock", "extract_shell_blocks", "run_blocks", "main"]
+
+_FENCE_OPEN = re.compile(r"^```(\w+)?\s*$")
+_SKIP_MARK = "<!-- docs-check: skip -->"
+
+
+class ShellBlock(NamedTuple):
+    """One runnable ``sh`` block: its source line and its script text."""
+
+    line: int
+    text: str
+
+
+def extract_shell_blocks(markdown: str) -> List[ShellBlock]:
+    """The ``sh`` blocks of a markdown document, skip-comments honoured."""
+    blocks: List[ShellBlock] = []
+    lines = markdown.splitlines()
+    index = 0
+    skip_next = False
+    while index < len(lines):
+        stripped = lines[index].strip()
+        if stripped == _SKIP_MARK:
+            skip_next = True
+            index += 1
+            continue
+        match = _FENCE_OPEN.match(stripped)
+        if match is None:
+            if stripped:
+                skip_next = False
+            index += 1
+            continue
+        language = match.group(1)
+        start = index + 1
+        body: List[str] = []
+        index = start
+        while index < len(lines) and lines[index].strip() != "```":
+            body.append(lines[index])
+            index += 1
+        index += 1  # consume the closing fence
+        if language in ("sh", "bash", "shell") and not skip_next:
+            blocks.append(ShellBlock(line=start, text="\n".join(body)))
+        skip_next = False
+    return blocks
+
+
+def run_blocks(
+    blocks: List[ShellBlock],
+    cache_dir: str,
+    source: str = "<doc>",
+    verbose: bool = True,
+) -> int:
+    """Run every block under ``bash -euo pipefail``; 0 iff all succeed."""
+    environment = dict(os.environ)
+    environment["REPRO_CACHE_DIR"] = cache_dir
+    for number, block in enumerate(blocks, start=1):
+        if verbose:
+            print(f"--- block {number}/{len(blocks)} ({source}:{block.line}) ---")
+            print(block.text)
+            sys.stdout.flush()
+        completed = subprocess.run(
+            ["bash", "-euo", "pipefail", "-c", block.text],
+            env=environment,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        if verbose and completed.stdout:
+            print(completed.stdout, end="" if completed.stdout.endswith("\n") else "\n")
+        if completed.returncode != 0:
+            print(
+                f"docs-check FAILED: block at {source}:{block.line} "
+                f"exited {completed.returncode}",
+                file=sys.stderr,
+            )
+            if not verbose and completed.stdout:
+                print(completed.stdout, file=sys.stderr)
+            return 1
+    if verbose:
+        print(f"docs-check OK: {len(blocks)} block(s) from {source}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.docscheck",
+        description="execute every fenced sh block of a markdown document",
+    )
+    parser.add_argument("paths", nargs="+", help="markdown files to execute")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="REPRO_CACHE_DIR for the blocks (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print failures"
+    )
+    arguments = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        cache_dir = arguments.cache_dir or scratch
+        for path in arguments.paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                markdown = handle.read()
+            blocks = extract_shell_blocks(markdown)
+            if not blocks:
+                print(f"docs-check: no sh blocks in {path}", file=sys.stderr)
+                return 1
+            code = run_blocks(
+                blocks, cache_dir, source=path, verbose=not arguments.quiet
+            )
+            if code != 0:
+                return code
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

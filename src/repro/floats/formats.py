@@ -15,6 +15,8 @@ from typing import Dict, List
 
 __all__ = [
     "FloatFormat",
+    "BINARY16",
+    "BFLOAT16",
     "BINARY32",
     "BINARY64",
     "BINARY128",
@@ -106,11 +108,15 @@ def _pow2(exponent: int) -> Fraction:
     return Fraction(1, 2 ** (-exponent))
 
 
+BINARY16 = FloatFormat("binary16", precision=11, emax=15)
+BFLOAT16 = FloatFormat("bfloat16", precision=8, emax=127)
 BINARY32 = FloatFormat("binary32", precision=24, emax=127)
 BINARY64 = FloatFormat("binary64", precision=53, emax=1023)
 BINARY128 = FloatFormat("binary128", precision=113, emax=16383)
 
 STANDARD_FORMATS = {
+    "binary16": BINARY16,
+    "bfloat16": BFLOAT16,
     "binary32": BINARY32,
     "binary64": BINARY64,
     "binary128": BINARY128,

@@ -42,6 +42,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "render_report",
+    "render_tuning",
     "render_validation",
 ]
 
@@ -321,6 +322,59 @@ class ServiceClient:
             payload["trace"] = trace
         return self._checked(payload)
 
+    def tune(
+        self,
+        source: str,
+        kind: str = "lnum",
+        name: Optional[str] = None,
+        target: Optional[str] = None,
+        target_ratio: Optional[str] = None,
+        budget: int = 48,
+        samples: int = 8,
+        points: int = 3,
+        seed: int = 0,
+        stochastic: bool = False,
+        priority: str = "bulk",
+        deadline_ms: Optional[float] = None,
+        no_cache: bool = False,
+        trace: Any = None,
+    ) -> Dict[str, Any]:
+        """Search certified mixed-precision assignments for one program.
+
+        The response's ``report`` is a
+        :meth:`repro.tuning.search.ItemTuning.to_dict` dictionary (one
+        per-function tuning outcome with the chosen assignment, certified
+        bound and candidate counts).  ``target`` is an absolute RP bound
+        (fraction string); ``target_ratio`` a multiple of the program's
+        uniform binary64 bound.  Tuning certifies many candidates, so it
+        defaults to the bulk scheduling lane.
+        """
+        payload: Dict[str, Any] = {
+            "op": "tune",
+            "source": source,
+            "kind": kind,
+            "priority": priority,
+            "budget": budget,
+            "samples": samples,
+            "points": points,
+            "seed": seed,
+        }
+        if target is not None:
+            payload["target"] = str(target)
+        if target_ratio is not None:
+            payload["target_ratio"] = str(target_ratio)
+        if stochastic:
+            payload["stochastic"] = True
+        if name:
+            payload["name"] = name
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if no_cache:
+            payload["no_cache"] = True
+        if trace:
+            payload["trace"] = trace
+        return self._checked(payload)
+
 
 class PipelinedClient(ServiceClient):
     """A blocking client that multiplexes many requests on one connection.
@@ -563,5 +617,48 @@ def render_validation(response: Dict[str, Any]) -> str:
                     f"  {backend['backend']:<15}: {backend['status']} "
                     f"({backend.get('message', '')})"
                 )
+    lines.append(f"  served in {response.get('seconds', 0.0) * 1000.0:.1f} ms")
+    return "\n".join(lines)
+
+
+def render_tuning(response: Dict[str, Any]) -> str:
+    """Human-readable rendering of one tune response (``repro query --tune``)."""
+    report = response.get("report", {})
+    served = "cached" if response.get("cached") else (
+        "coalesced" if response.get("coalesced") else "tuned"
+    )
+    lines: List[str] = [
+        f"== {report.get('name', '<request>')} ({report.get('kind')}) "
+        f"[{served}] verdict: {report.get('verdict', '?').upper()}"
+    ]
+    if not report.get("ok", False):
+        lines.append(f"  error: {report.get('error')}")
+        return "\n".join(lines)
+    for program in report.get("reports", []):
+        lines.append(f"{program['name']}: {program['status']}")
+        assignment = program.get("assignment")
+        if assignment and program.get("sites"):
+            counts = ", ".join(
+                f"{count}x {name}"
+                for name, count in sorted(assignment["counts"].items())
+            )
+            lines.append(
+                f"  assignment     : {counts} "
+                f"(cost {assignment['cost']}/{assignment['baseline_cost']}, "
+                f"-{program['cost_reduction'] * 100.0:.1f}%)"
+            )
+        if program.get("certified_rp") is not None:
+            target = program.get("target")
+            lines.append(
+                f"  certified bound: {program['certified_rp']:.3e} rp"
+                + (f" (target {target:.3e})" if target is not None else "")
+            )
+        lines.append(
+            f"  candidates     : {program['candidates']} "
+            f"({program['certifications']} certified, "
+            f"{program['cache_hits']} cache hits)"
+        )
+        for note in program.get("notes", []):
+            lines.append(f"  note: {note}")
     lines.append(f"  served in {response.get('seconds', 0.0) * 1000.0:.1f} ms")
     return "\n".join(lines)

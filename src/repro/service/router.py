@@ -532,7 +532,7 @@ class RouterServer:
             )
             asyncio.get_running_loop().create_task(self._shutdown_after_flush(client))
             return
-        if op in ("analyze", "validate"):
+        if op in ("analyze", "validate", "tune"):
             source = request.get("source")
             if not isinstance(source, str) or not source.strip():
                 self._respond_local(
@@ -1028,6 +1028,7 @@ class RouterServer:
         cache: Dict[str, Any] = {}
         scheduler: Dict[str, Any] = {}
         resilience: Dict[str, Any] = {}
+        tuning: Dict[str, Any] = {}
         slow_requests: List[Dict[str, Any]] = []
         inflight = 0
         workers: List[Dict[str, Any]] = []
@@ -1055,6 +1056,8 @@ class RouterServer:
             # counters die with a killed worker.  The per-worker blocks
             # below keep the slot-level view.
             _merge_counters(resilience, block.get("resilience", {}))
+            # Tuning counters follow the same per-process lifecycle.
+            _merge_counters(tuning, block.get("tuning", {}))
             inflight += block.get("inflight", 0)
             for entry in block.get("slow_requests", []) or []:
                 if isinstance(entry, dict):
@@ -1075,6 +1078,7 @@ class RouterServer:
             "cache": cache,
             "scheduler": scheduler,
             "resilience": resilience,
+            "tuning": tuning,
             "slow_requests": slow_requests,
             "cluster": {
                 "workers": self.cluster.config.workers,

@@ -294,6 +294,18 @@ class Scheduler:
                             self.judgement_memo,
                             *extra,
                         )
+                    elif job.kind == "tune":
+                        from ..tuning.search import tune_item
+
+                        future = self.pool.submit(
+                            tune_item,
+                            job.item,
+                            job.config,
+                            job.params,
+                            self.parse_cache,
+                            self.judgement_memo,
+                            *extra,
+                        )
                     else:
                         future = self.pool.submit(
                             analyze_item,

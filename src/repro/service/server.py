@@ -96,6 +96,8 @@ from ..core.inference import (
 from ..faults import FAULT_SITES, activate, active_plan, injected_counts, plan_from_environment
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import RequestTrace, requested_trace_id
+from ..tuning.search import parse_fraction
+from ..tuning.stats import tuning_stats
 from .cachefarm import CacheFarm, DEFAULT_SHARD_ENTRIES, DEFAULT_SHARDS
 from .scheduler import (
     PRIORITY_NAMES,
@@ -400,6 +402,7 @@ class AnalysisService:
                 "requests",
                 "analyze_requests",
                 "validate_requests",
+                "tune_requests",
                 "cache_hits",
                 "coalesced",
                 "scheduled",
@@ -541,7 +544,7 @@ class AnalysisService:
         if not self._hot_enabled or response.get("status") != "ok":
             return
         op = response.get("op")
-        if op not in ("analyze", "validate") or request.get("no_cache"):
+        if op not in ("analyze", "validate", "tune") or request.get("no_cache"):
             return
         if "trace" in request:
             # A traced request must take the full handle path every time —
@@ -612,6 +615,8 @@ class AnalysisService:
             return await self._handle_analyze(request)
         if op == "validate":
             return await self._handle_analyze(request, op="validate")
+        if op == "tune":
+            return await self._handle_analyze(request, op="tune")
         return self._error(f"unknown op {op!r}")
 
     def _error(self, message: str, code: int = 400) -> Dict[str, Any]:
@@ -686,6 +691,34 @@ class AnalysisService:
                         f"{field_name!r} must be an integer >= {minimum}"
                     )
                 params[field_name] = value
+        elif op == "tune":
+            params = {}
+            for field_name, default, minimum in (
+                ("samples", 8, 0),
+                ("points", 3, 1),
+                ("seed", 0, 0),
+                ("budget", 48, 1),
+            ):
+                value = request.get(field_name, default)
+                if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+                    return self._error(
+                        f"{field_name!r} must be an integer >= {minimum}"
+                    )
+                params[field_name] = value
+            for field_name in ("target", "target_ratio"):
+                value = request.get(field_name)
+                if value is None:
+                    continue
+                if not isinstance(value, (str, int, float)) or isinstance(value, bool):
+                    return self._error(f"{field_name!r} must be a number or fraction string")
+                try:
+                    parsed = parse_fraction(str(value))
+                except (ValueError, OverflowError, ZeroDivisionError):
+                    return self._error(f"{field_name!r} is not a valid fraction")
+                if parsed <= 0:
+                    return self._error(f"{field_name!r} must be positive")
+                params[field_name] = str(parsed)
+            params["stochastic"] = bool(request.get("stochastic", False))
 
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
@@ -700,6 +733,18 @@ class AnalysisService:
             # parameters, so they live under their own content key.
             key = make_key(
                 "validate", key, params["samples"], params["points"], params["seed"]
+            )
+        elif op == "tune":
+            key = make_key(
+                "tune",
+                key,
+                params["samples"],
+                params["points"],
+                params["seed"],
+                params["budget"],
+                params.get("target"),
+                params.get("target_ratio"),
+                params["stochastic"],
             )
 
         if not no_cache:
@@ -1003,6 +1048,10 @@ class AnalysisService:
             # Graceful-degradation counters: compiled-plan quarantine and
             # interpreter fallbacks (see repro.core.inference).
             "resilience": engine_fallback_stats(),
+            # Mixed-precision tuning counters (candidates, certifications,
+            # cache hits); process-local like the resilience block, merged
+            # across cluster workers by the router.
+            "tuning": tuning_stats(),
             # Ring buffer of requests slower than
             # ``ServiceConfig.slow_request_seconds``, newest last.
             "slow_requests": list(self._slow_log),

@@ -1,0 +1,192 @@
+"""The ``tuning/*`` benchmark family: ``BENCH_tuning.json``.
+
+Runs grade-guided mixed-precision tuning over the paper's evaluation
+corpus (tables 3, 4 and 5), records one row per program — status, site
+count, the winning assignment with its cost reduction against uniform
+binary64, the certified bound versus the target — and gates the result
+against a checked-in baseline:
+
+* a program whose status regresses from ``tuned``/``baseline`` to
+  ``infeasible`` or ``error`` fails;
+* a program that was non-uniform in the baseline but collapses back to a
+  uniform assignment fails (the search lost a win it used to find);
+* a cost reduction that *shrinks* by more than the allowed factor fails —
+  the quiet way a search regression ships;
+* the aggregate non-uniform count dropping below the baseline's fails.
+
+Tuning is deterministic under a fixed seed (exact rational sampling from
+content-derived seeds), so reruns of the same code produce identical
+reports; the gate tolerance exists for legitimate *code* changes (a
+tightened grade shifts which formats certify), not machine noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .search import TuningResult
+
+__all__ = [
+    "BENCH_FILENAME",
+    "REPORT_SCHEMA",
+    "build_report",
+    "compare_with_baseline",
+    "load_report",
+    "write_report",
+]
+
+BENCH_FILENAME = "BENCH_tuning.json"
+REPORT_SCHEMA = 1
+
+
+def build_report(
+    result: TuningResult,
+    options: Dict[str, Any],
+    suites: Sequence[str],
+) -> Dict[str, Any]:
+    """Shape one tuning run as the ``BENCH_tuning.json`` document."""
+    programs: List[Dict[str, Any]] = []
+    for report in result.reports:
+        entry: Dict[str, Any] = {
+            "name": report.name,
+            "kind": report.kind,
+            "status": report.status,
+            "sites": report.sites,
+            "non_uniform": report.non_uniform,
+            "cost": report.cost,
+            "cost_reduction": report.cost_reduction,
+            "candidates": report.candidates,
+            "seconds": report.seconds,
+        }
+        if report.target is not None:
+            entry["target"] = float(report.target)
+        if report.certified_rp is not None:
+            entry["certified_rp"] = float(report.certified_rp)
+        if report.assignment is not None:
+            entry["assignment"] = report.assignment.counts()
+            entry["stochastic"] = report.assignment.stochastic
+        programs.append(entry)
+    certifications = max(result.certifications + result.cache_hits, 1)
+    return {
+        "schema": REPORT_SCHEMA,
+        "suite": "repro-tuning",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "suites": list(suites),
+        "options": dict(options),
+        "programs": programs,
+        "aggregate": {
+            "programs": result.programs,
+            "tuned": result.tuned,
+            "non_uniform": result.non_uniform,
+            "infeasible": result.infeasible,
+            "errors": result.errors,
+            "candidates": result.candidates,
+            "certifications": result.certifications,
+            "cache_hits": result.cache_hits,
+            "cache_hit_rate": result.cache_hits / certifications,
+            "mean_cost_reduction": result.mean_cost_reduction,
+            "wall_seconds": result.wall_seconds,
+            "jobs": result.jobs,
+        },
+    }
+
+
+def write_report(report: Dict[str, Any], path: str = BENCH_FILENAME) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_report(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+#: Statuses that satisfy the gate: the search produced a certified
+#: configuration (or proved the program has nothing to tune).
+_OK_STATUSES = ("tuned", "baseline", "trivial")
+
+
+def compare_with_baseline(
+    report: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_loosening: float = 4.0,
+) -> Tuple[bool, List[str]]:
+    """The CI gate described in the module docstring.
+
+    Programs absent from the baseline are informational; cost-reduction
+    regressions only fail when the baseline reduction was meaningfully
+    nonzero (below 5% the winner is a near-uniform assignment whose exact
+    cost is noise-level detail, not a search-quality signal).
+    """
+    baseline_by_name = {
+        entry["name"]: entry for entry in baseline.get("programs", [])
+    }
+    ok = True
+    lines: List[str] = []
+    for entry in report.get("programs", []):
+        name = entry["name"]
+        reference = baseline_by_name.get(name)
+        status = entry["status"]
+        if reference is None:
+            lines.append(f"  new       {name}: {status} (no baseline)")
+            continue
+        if reference["status"] in _OK_STATUSES and status not in _OK_STATUSES:
+            ok = False
+            lines.append(
+                f"  REGRESSED {name}: status {reference['status']} -> {status}"
+            )
+            continue
+        if reference.get("non_uniform") and not entry.get("non_uniform"):
+            ok = False
+            lines.append(
+                f"  REGRESSED {name}: lost its non-uniform assignment "
+                f"(now {status})"
+            )
+            continue
+        previous_reduction = reference.get("cost_reduction") or 0.0
+        current_reduction = entry.get("cost_reduction") or 0.0
+        if (
+            previous_reduction > 0.05
+            and current_reduction < previous_reduction / max_loosening
+        ):
+            ok = False
+            lines.append(
+                f"  REGRESSED {name}: cost reduction "
+                f"{100 * previous_reduction:.1f}% -> "
+                f"{100 * current_reduction:.1f}% "
+                f"(worse > {max_loosening:g}x)"
+            )
+            continue
+        lines.append(f"  ok        {name}: {status}")
+    current_names = {entry["name"] for entry in report.get("programs", [])}
+    error_sources = {
+        entry["name"]
+        for entry in report.get("programs", [])
+        if entry["status"] == "error"
+    }
+    for name in sorted(set(baseline_by_name) - current_names):
+        source = name.split("::")[0]
+        if source in error_sources:
+            ok = False
+            lines.append(
+                f"  REGRESSED {name}: previously tuned, now lost to an "
+                f"error on {source}"
+            )
+        else:
+            lines.append(f"  missing   {name}: in the baseline but not in this run")
+    previous_total = baseline.get("aggregate", {}).get("non_uniform")
+    current_total = report.get("aggregate", {}).get("non_uniform", 0)
+    if previous_total is not None and current_total < previous_total:
+        ok = False
+        lines.append(
+            f"  REGRESSED aggregate: non-uniform programs "
+            f"{previous_total} -> {current_total}"
+        )
+    return ok, lines
